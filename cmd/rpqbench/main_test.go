@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	if err := run([]string{
+		"-experiment", "table4", "-scale", "6", "-maxn", "1", "-sets", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigTiny(t *testing.T) {
+	if err := run([]string{
+		"-experiment", "fig13a", "-scale", "6", "-maxn", "1", "-sets", "1",
+		"-rpqs", "1", "-seed", "5", "-verify",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                       // no experiment
+		{"-experiment", "bogus"}, // unknown id
+		{"-experiment", "fig10a", "-scale", "99"}, // bad config
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): want error", i, args)
+		}
+	}
+}

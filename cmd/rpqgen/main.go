@@ -1,0 +1,94 @@
+// Command rpqgen generates the paper's evaluation datasets as graph
+// files in the text edge-list format.
+//
+// Usage:
+//
+//	rpqgen -out rmat3.txt -rmat 3 [-scale 13] [-seed 2022]
+//	rpqgen -out youtube.txt -dataset youtube [-seed 2022]
+//	rpqgen -out custom.txt -vertices 4096 -edges 65536 -labels 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rpqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rpqgen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "", "output file (required; - for stdout)")
+		rmatN    = fs.Int("rmat", -1, "generate the paper's RMAT_N (0..6)")
+		scale    = fs.Int("scale", 13, "RMAT scale exponent: |V| = 2^scale")
+		dataset  = fs.String("dataset", "", "real-dataset stand-in: yago2s, robots, advogato or youtube")
+		vertices = fs.Int("vertices", 0, "custom |V|")
+		edges    = fs.Int("edges", 0, "custom |E|")
+		labels   = fs.Int("labels", 4, "custom |Σ|")
+		seed     = fs.Int64("seed", 2022, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch {
+	case *rmatN >= 0:
+		g, err = datagen.PaperRMATN(*rmatN, *scale, *seed)
+	case *dataset != "":
+		spec, ok := lookupDataset(*dataset)
+		if !ok {
+			return fmt.Errorf("unknown dataset %q", *dataset)
+		}
+		g, err = spec.Generate(*seed)
+	case *vertices > 0:
+		g, err = datagen.RMAT(datagen.RMATConfig{
+			Vertices: *vertices, Edges: *edges, Labels: *labels, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("one of -rmat, -dataset or -vertices is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.Write(w, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rpqgen: wrote %s (%s)\n", *out, g.Stats())
+	return nil
+}
+
+func lookupDataset(name string) (datagen.DatasetSpec, bool) {
+	for _, s := range datagen.RealDatasets() {
+		if strings.EqualFold(s.Name, name) || strings.EqualFold(strings.TrimSuffix(s.Name, "2s"), name) {
+			return s, true
+		}
+	}
+	return datagen.DatasetSpec{}, false
+}

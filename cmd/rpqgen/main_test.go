@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtcshare/internal/graph"
+)
+
+func TestGenerateRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-out", out, "-rmat", "1", "-scale", "7", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 128 || g.NumEdges() != 256 {
+		t.Fatalf("got %v, want |V|=128 |E|=256", g.Stats())
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "robots.txt")
+	if err := run([]string{"-out", out, "-dataset", "robots"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1725 || g.NumEdges() != 3596 {
+		t.Fatalf("got %v, want Robots' Table IV sizes", g.Stats())
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.txt")
+	if err := run([]string{"-out", out, "-vertices", "50", "-edges", "100", "-labels", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.txt")
+	cases := [][]string{
+		{},                                 // no -out
+		{"-out", out},                      // no mode
+		{"-out", out, "-dataset", "bogus"}, // unknown dataset
+		{"-out", out, "-rmat", "1", "-scale", "-3"},
+		{"-out", filepath.Join(t.TempDir(), "no", "dir", "x.txt"), "-rmat", "1", "-scale", "5"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): want error", i, args)
+		}
+	}
+}
+
+func TestLookupDataset(t *testing.T) {
+	for _, name := range []string{"robots", "Advogato", "youtube", "yago2s", "yago"} {
+		if _, ok := lookupDataset(name); !ok {
+			t.Errorf("lookupDataset(%q) failed", name)
+		}
+	}
+	if _, ok := lookupDataset("mystery"); ok {
+		t.Error("lookupDataset(mystery) succeeded")
+	}
+}

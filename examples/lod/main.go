@@ -1,0 +1,98 @@
+// Linked-open-data extraction — one of the paper's motivating
+// applications (Section I), in the style of SPARQL 1.1 property paths
+// over an RDF-ish knowledge graph.
+//
+// The graph models a tiny ontology: instances connect to classes with
+// rdf:type, classes form a hierarchy with rdfs:subClassOf, and instances
+// carry domain links (locatedIn, partOf). Classic property-path queries:
+//
+//	typed        rdf:type.rdfs:subClassOf*      instances of a class or any subclass
+//	contained    locatedIn+                     transitive containment
+//	cross        rdf:type.rdfs:subClassOf*.sameAs?   with an optional equivalence hop
+//
+// Run with: go run ./examples/lod
+package main
+
+import (
+	"fmt"
+
+	"rtcshare"
+)
+
+func main() {
+	// Vertex layout:
+	//   0..5   classes: Thing, Place, City, Capital, Organization, Museum
+	//   6..13  instances: berlin, paris, louvre, pergamon, germany, france,
+	//          unesco, eu
+	const (
+		thing, place, city, capital, org, museum = 0, 1, 2, 3, 4, 5
+		berlin, paris, louvre, pergamon          = 6, 7, 8, 9
+		germany, france, unesco, eu              = 10, 11, 12, 13
+		n                                        = 14
+	)
+	names := map[rtcshare.VID]string{
+		thing: "Thing", place: "Place", city: "City", capital: "Capital",
+		org: "Organization", museum: "Museum", berlin: "berlin",
+		paris: "paris", louvre: "Louvre", pergamon: "Pergamon",
+		germany: "germany", france: "france", unesco: "UNESCO", eu: "EU",
+	}
+
+	b := rtcshare.NewGraphBuilder(n)
+	// Class hierarchy.
+	b.MustAddEdge(place, "rdfs:subClassOf", thing)
+	b.MustAddEdge(city, "rdfs:subClassOf", place)
+	b.MustAddEdge(capital, "rdfs:subClassOf", city)
+	b.MustAddEdge(org, "rdfs:subClassOf", thing)
+	b.MustAddEdge(museum, "rdfs:subClassOf", org)
+	b.MustAddEdge(museum, "rdfs:subClassOf", place)
+	// Instance typing.
+	b.MustAddEdge(berlin, "rdf:type", capital)
+	b.MustAddEdge(paris, "rdf:type", capital)
+	b.MustAddEdge(louvre, "rdf:type", museum)
+	b.MustAddEdge(pergamon, "rdf:type", museum)
+	b.MustAddEdge(unesco, "rdf:type", org)
+	b.MustAddEdge(eu, "rdf:type", org)
+	// Domain links.
+	b.MustAddEdge(louvre, "locatedIn", paris)
+	b.MustAddEdge(pergamon, "locatedIn", berlin)
+	b.MustAddEdge(paris, "locatedIn", france)
+	b.MustAddEdge(berlin, "locatedIn", germany)
+	b.MustAddEdge(france, "partOf", eu)
+	b.MustAddEdge(germany, "partOf", eu)
+	g := b.Build()
+
+	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+	show := func(title, query string, filterDst rtcshare.VID) {
+		res, err := engine.EvaluateQuery(query)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s — %s\n", title, query)
+		for _, p := range res.Sorted() {
+			if filterDst >= 0 && p.Dst != filterDst {
+				continue
+			}
+			fmt.Printf("  %s → %s\n", names[p.Src], names[p.Dst])
+		}
+		fmt.Println()
+	}
+
+	// Everything that is (transitively) a Place: the SPARQL idiom
+	// ?x rdf:type/rdfs:subClassOf* :Place.
+	show("instances of Place (incl. subclasses)", "rdf:type.rdfs:subClassOf*", place)
+
+	// Transitive containment: -1 prints every pair.
+	show("transitive location of museums", "locatedIn+", -1)
+
+	// Which museums sit (transitively) inside the EU?
+	res, err := engine.EvaluateQuery("locatedIn+.partOf")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("museums inside the EU — locatedIn+.partOf")
+	for _, p := range res.Sorted() {
+		if p.Dst == eu && (p.Src == louvre || p.Src == pergamon) {
+			fmt.Printf("  %s → %s\n", names[p.Src], names[p.Dst])
+		}
+	}
+}

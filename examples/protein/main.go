@@ -1,0 +1,99 @@
+// Protein signal-path detection — one of the paper's motivating
+// applications (Section I).
+//
+// A protein-interaction network carries typed edges: "activates",
+// "inhibits", "binds" and "phosphorylates". Signal-path questions are
+// RPQs:
+//
+//	cascade     activates+                     transitive activation
+//	switch-off  activates+.inhibits           an activation cascade that ends suppressed
+//	relay       binds.(phosphorylates.activates)+  kinase relay chains
+//
+// The example builds a small curated pathway plus synthetic noise,
+// evaluates the queries, and shows how the strongly-connected feedback
+// loops in the pathway collapse under vertex-level reduction.
+//
+// Run with: go run ./examples/protein
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtcshare"
+)
+
+const (
+	numProteins = 600
+	activates   = "activates"
+	inhibits    = "inhibits"
+	binds       = "binds"
+	phos        = "phosphorylates"
+)
+
+func main() {
+	b := rtcshare.NewGraphBuilder(numProteins)
+
+	// A curated core pathway with feedback loops (0..9): receptors 0-2,
+	// kinase cascade 3-6 with a 4↔5 feedback pair, effectors 7-9.
+	core := []struct {
+		src   rtcshare.VID
+		label string
+		dst   rtcshare.VID
+	}{
+		{0, binds, 3}, {1, binds, 3}, {2, binds, 4},
+		{3, phos, 4}, {4, activates, 5}, {5, activates, 4}, // feedback loop
+		{4, phos, 5}, {5, phos, 6}, {6, activates, 7},
+		{4, activates, 6}, {6, activates, 5}, // second loop 5→6→5
+		{7, inhibits, 8}, {6, inhibits, 9}, {3, activates, 4},
+	}
+	for _, e := range core {
+		b.MustAddEdge(e.src, e.label, e.dst)
+	}
+
+	// Synthetic periphery: random interactions among the remaining
+	// proteins, biased toward activation (as in curated databases).
+	rng := rand.New(rand.NewSource(13))
+	labels := []string{activates, activates, activates, inhibits, binds, phos}
+	for i := 0; i < 4*numProteins; i++ {
+		src := rtcshare.VID(rng.Intn(numProteins))
+		dst := rtcshare.VID(rng.Intn(numProteins))
+		b.MustAddEdge(src, labels[rng.Intn(len(labels))], dst)
+	}
+	g := b.Build()
+	fmt.Printf("protein network: %s\n\n", g.Stats())
+
+	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+	queries := []struct{ name, query string }{
+		{"cascade", "activates+"},
+		{"switch-off", "activates+.inhibits"},
+		{"relay", "binds.(phosphorylates.activates)+"},
+		{"indirect", "binds.activates+.inhibits"},
+	}
+	for _, q := range queries {
+		res, err := engine.EvaluateQuery(q.query)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s %-38s %7d pairs\n", q.name, q.query, res.Len())
+	}
+
+	// The cascade feedback loops collapse under vertex-level reduction:
+	// compare |V_R| with |V̄_R̄| for the shared sub-queries.
+	fmt.Println("\ngraph reduction at work (Section III):")
+	for _, s := range engine.SharedSummaries() {
+		fmt.Printf("  R=%-28s |V_R|=%4d → |V̄_R̄|=%4d (avg SCC %.2f), |TC(Ḡ_R)|=%d\n",
+			s.R, s.EdgeReducedVertices, s.ReducedVertices, s.AvgSCCSize, s.SharedPairs)
+	}
+
+	// Is the curated receptor 0 able to suppress effector 9 indirectly?
+	res, err := engine.EvaluateQuery("binds.activates+.inhibits")
+	if err != nil {
+		panic(err)
+	}
+	if res.Contains(0, 9) {
+		fmt.Println("\nreceptor p0 can indirectly suppress effector p9 — pathway confirmed")
+	} else {
+		fmt.Println("\nno indirect suppression path from p0 to p9")
+	}
+}

@@ -1,0 +1,129 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtcshare/internal/graph"
+)
+
+// DFA is a deterministic automaton produced from an NFA by subset
+// construction. Its alphabet is the NFA's live (label, direction) pairs;
+// Step returns -1 for a dead move.
+type DFA struct {
+	labels   []LabelDir
+	labelIdx map[LabelDir]int
+	trans    [][]int // trans[state][column] = next state or -1
+	accept   []bool
+}
+
+// Determinize builds the DFA of n by subset construction over n's live
+// alphabet. States unreachable from the start are never materialised.
+func Determinize(n *NFA) *DFA {
+	labels := n.Labels()
+	labelIdx := make(map[LabelDir]int, len(labels))
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
+
+	key := func(set []int) string {
+		var sb strings.Builder
+		for i, s := range set {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", s)
+		}
+		return sb.String()
+	}
+
+	start := []int{n.Start()}
+	d := &DFA{labels: labels, labelIdx: labelIdx}
+	ids := map[string]int{key(start): 0}
+	worklist := [][]int{start}
+	for i := 0; i < len(worklist); i++ {
+		set := worklist[i]
+		acc := false
+		moves := make(map[LabelDir]map[int]bool)
+		for _, s := range set {
+			if n.IsAccept(s) {
+				acc = true
+			}
+			for _, a := range n.Arcs(s) {
+				if a.Label == deadLabel {
+					continue
+				}
+				ld := LabelDir{a.Label, a.Inverse}
+				if moves[ld] == nil {
+					moves[ld] = make(map[int]bool)
+				}
+				moves[ld][a.To] = true
+			}
+		}
+		row := make([]int, len(labels))
+		for c := range row {
+			row[c] = -1
+		}
+		for l, tos := range moves {
+			next := make([]int, 0, len(tos))
+			for t := range tos {
+				next = append(next, t)
+			}
+			sort.Ints(next)
+			k := key(next)
+			id, ok := ids[k]
+			if !ok {
+				id = len(worklist)
+				ids[k] = id
+				worklist = append(worklist, next)
+			}
+			row[labelIdx[l]] = id
+		}
+		d.trans = append(d.trans, row)
+		d.accept = append(d.accept, acc)
+	}
+	return d
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Start returns the start state (always 0).
+func (d *DFA) Start() int { return 0 }
+
+// IsAccept reports whether s is accepting.
+func (d *DFA) IsAccept(s int) bool { return d.accept[s] }
+
+// Step returns the state reached from s on a forward edge with label l,
+// or -1 if the move is dead.
+func (d *DFA) Step(s int, l graph.LID) int {
+	return d.StepDir(s, LabelDir{Label: l})
+}
+
+// StepDir returns the state reached from s on the (label, direction)
+// symbol, or -1 if the move is dead.
+func (d *DFA) StepDir(s int, ld LabelDir) int {
+	c, ok := d.labelIdx[ld]
+	if !ok {
+		return -1
+	}
+	return d.trans[s][c]
+}
+
+// Labels returns the live alphabet, sorted by (label, direction). The
+// caller must not modify the returned slice.
+func (d *DFA) Labels() []LabelDir { return d.labels }
+
+// Match reports whether the DFA accepts the word (forward symbols only;
+// inverse transitions never fire on words).
+func (d *DFA) Match(word []graph.LID) bool {
+	s := 0
+	for _, l := range word {
+		s = d.Step(s, l)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.accept[s]
+}

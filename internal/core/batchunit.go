@@ -1,0 +1,241 @@
+package core
+
+import (
+	"time"
+
+	"rtcshare/internal/eval"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
+)
+
+// This file implements the batch-unit joins: Algorithm 2 for RTCSharing
+// and the pair-level counterpart for FullSharing. The relations ResEq7,
+// ResEq8 and ResEq10 of the paper are sets; they are realised here with
+// generation-stamped arrays, grouped by the start vertex v_i, so that a
+// membership test is one array read. The set *semantics* (which unions
+// happen where, and therefore which redundant/useless operations each
+// method performs) exactly follows Section IV-B; only the set data
+// structure is faster than a hash table.
+
+// srcBuckets groups the pairs of a relation by start vertex: the dsts of
+// src v are flat[offsets[v]:offsets[v+1]].
+type srcBuckets struct {
+	offsets []int32
+	flat    []graph.VID
+}
+
+func bucketBySrc(numVertices int, rel *pairs.Set) srcBuckets {
+	offsets := make([]int32, numVertices+1)
+	rel.Each(func(src, _ graph.VID) bool {
+		offsets[src+1]++
+		return true
+	})
+	for v := 0; v < numVertices; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	flat := make([]graph.VID, rel.Len())
+	cursor := make([]int32, numVertices)
+	rel.Each(func(src, dst graph.VID) bool {
+		flat[offsets[src]+cursor[src]] = dst
+		cursor[src]++
+		return true
+	})
+	return srcBuckets{offsets: offsets, flat: flat}
+}
+
+func (b srcBuckets) dsts(v graph.VID) []graph.VID {
+	return b.flat[b.offsets[v]:b.offsets[v+1]]
+}
+
+// stampSet is a constant-time set over a dense ID space, cleared in O(1)
+// by bumping the generation.
+type stampSet struct {
+	marks []uint32
+	gen   uint32
+}
+
+func newStampSet(n int) *stampSet { return &stampSet{marks: make([]uint32, n)} }
+
+func (s *stampSet) reset() {
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// add inserts id and reports whether it was new.
+func (s *stampSet) add(id int32) bool {
+	if s.marks[id] == s.gen {
+		return false
+	}
+	s.marks[id] = s.gen
+	return true
+}
+
+// EvalBatchUnit implements Algorithm 2 (EvalBatchUnit) for RTCSharing:
+// the join pipeline of equations (6)–(10) over the RTC, eliminating
+//
+//   - useless-1 operations: R+ is explored only from end vertices of
+//     Pre_G tuples (the iteration runs over Pre_G, line 4);
+//   - redundant-1 operations: Pre_G tuples with equal start vertex whose
+//     ends share an SCC collapse at ResEq7 (lines 6–7);
+//   - redundant-2 operations: tuples whose ends lie in different SCCs
+//     reaching a common SCC collapse at ResEq8 (lines 9–10);
+//   - useless-2 operations: members of distinct SCCs are disjoint, so
+//     ResEq9 inserts perform no duplicate check (line 12).
+//
+// It is exported so benchmarks can measure the join in isolation; query
+// evaluation reaches it through Engine.Evaluate.
+func (e *Engine) EvalBatchUnit(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketBySrc(e.g.NumVertices(), preG)
+	numComps := structure.NumReducedVertices()
+	seen7 := newStampSet(numComps) // the ResEq7 union, per v_i
+	seen8 := newStampSet(numComps) // the ResEq8 union, per v_i
+
+	// ResEq9 is an append-only list (useless-2 elimination), grouped by
+	// v_i because the buckets are walked in vertex order.
+	var resEq9 []pairs.Pair
+	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
+		vjs := buckets.dsts(vi)
+		if len(vjs) == 0 {
+			continue
+		}
+		seen7.reset()
+		seen8.reset()
+		if typ == rpq.ClosureStar {
+			// Pre·R*·Post ⊇ Pre·Post: seed ResEq9 with this v_i's Pre_G
+			// tuples (Algorithm 2 lines 2–3).
+			for _, vj := range vjs {
+				resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vj})
+			}
+		}
+		for _, vj := range vjs {
+			// Line 5: s_j ← SCC containing v_j; v_j ∉ V_R starts no R+ path.
+			sj := structure.CompOf(vj)
+			if sj < 0 {
+				continue
+			}
+			// Lines 6–7: union into ResEq7; repeats are redundant-1.
+			if !seen7.add(sj) {
+				continue
+			}
+			// Line 8: σ_{START_S=s_j} R̄+_Ḡ.
+			for _, sk := range structure.ReachableFrom(sj) {
+				// Lines 9–10: union into ResEq8; repeats are redundant-2.
+				if !seen8.add(int32(sk)) {
+					continue
+				}
+				// Lines 11–12: expand members with no duplicate check.
+				for _, vk := range structure.Members(int32(sk)) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
+				}
+			}
+		}
+	}
+	e.stats.PreJoin += time.Since(joinStart)
+
+	return e.joinPost(resEq9, post)
+}
+
+// EvalBatchUnitFull is FullSharing's batch-unit evaluation: the same
+// logical join Pre_G ⋈ R+_G ⋈ Post_G, but enumerated at vertex-pair
+// level over the full closure. For every Pre_G tuple (v_i, v_j) the
+// entire reachable set From(v_j) is walked and inserted with a duplicate
+// check — the redundant-1 and redundant-2 operations of Definitions 3
+// and 4 that Algorithm 2 eliminates are all performed here.
+func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketBySrc(e.g.NumVertices(), preG)
+	seenV := newStampSet(e.g.NumVertices())
+
+	var resEq9 []pairs.Pair
+	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
+		vjs := buckets.dsts(vi)
+		if len(vjs) == 0 {
+			continue
+		}
+		seenV.reset()
+		if typ == rpq.ClosureStar {
+			for _, vj := range vjs {
+				if seenV.add(vj) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vj})
+				}
+			}
+		}
+		for _, vj := range vjs {
+			// Pair-level enumeration: vertices of From(v_j) repeat across
+			// the v_j of one v_i whenever their ends share SCCs — each
+			// repetition costs a duplicate check here (redundant-1/-2).
+			for _, vk := range closure.From(vj) {
+				if seenV.add(vk) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
+				}
+			}
+		}
+	}
+	e.stats.PreJoin += time.Since(joinStart)
+
+	return e.joinPost(resEq9, post)
+}
+
+// joinPost implements equations (9)→(10) — Algorithm 2 lines 13–16: for
+// every (v_i, v_k) of the Pre·R{+,*} result, extend by the paths
+// satisfying Post from v_k (EvalRestrictedRPQ), unioning into ResEq10.
+// Both sharing strategies run this identically; it is Remainder time.
+// resEq9 must be grouped by Src, which both join implementations
+// guarantee.
+func (e *Engine) joinPost(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
+	t0 := time.Now()
+	defer func() { e.stats.Remainder += time.Since(t0) }()
+
+	resEq10 := pairs.NewSet()
+	_, postIsEps := post.(rpq.Epsilon)
+	var (
+		evalPost *eval.Evaluator
+		// EvalRestrictedRPQ(Post, v_k) memoised per distinct v_k within
+		// the batch unit.
+		ends   map[graph.VID][]graph.VID
+		seenVl = newStampSet(e.g.NumVertices())
+	)
+	if !postIsEps {
+		evalPost = e.evaluator(post)
+		ends = make(map[graph.VID][]graph.VID)
+	}
+
+	for i := 0; i < len(resEq9); {
+		vi := resEq9[i].Src
+		seenVl.reset()
+		for ; i < len(resEq9) && resEq9[i].Src == vi; i++ {
+			vk := resEq9[i].Dst
+			if postIsEps {
+				// Post = ε: ResEq10 is ResEq9 de-duplicated. Duplicates
+				// only arise from the R* seeding.
+				if seenVl.add(vk) {
+					resEq10.Add(vi, vk)
+				}
+				continue
+			}
+			vkEnds, ok := ends[vk]
+			if !ok {
+				vkEnds = evalPost.ReachFrom(vk)
+				ends[vk] = vkEnds
+			}
+			for _, vl := range vkEnds {
+				// Lines 15–16: duplicate check for (10).
+				if seenVl.add(vl) {
+					resEq10.Add(vi, vl)
+				}
+			}
+		}
+	}
+	return resEq10, nil
+}

@@ -1,0 +1,233 @@
+// Package core implements the paper's query engines:
+//
+//   - RTCSharing (Algorithms 1 and 2): DNF conversion with outermost
+//     Kleene closures as literals, batch-unit evaluation as a relational
+//     join over the reduced transitive closure, an RTC cache shared
+//     across batch units and queries, and the elimination of useless-1/2
+//     and redundant-1/2 operations (Section IV-B).
+//   - FullSharing (Abul-Basher [8]): the same sharing discipline, but the
+//     shared structure is the heavyweight closure R+_G = TC(G_R) and the
+//     join runs at vertex-pair level with duplicate checks everywhere.
+//   - NoSharing (Yakovets et al. [5]): each query is evaluated
+//     independently — the closure sub-query is re-evaluated and its full
+//     closure re-materialised for every query, with nothing reused. (At
+//     one query per set it therefore costs the same as FullSharing,
+//     matching the paper's Fig. 14.) Kleene-free sub-expressions are
+//     evaluated by automaton-product traversal in all three strategies.
+//
+// Engines record the paper's three-part timing split (Shared_Data,
+// PreG ⋈ R+G, Remainder) so the evaluation figures can be regenerated.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtcshare/internal/eval"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
+)
+
+// Strategy selects the multi-RPQ evaluation method.
+type Strategy int
+
+const (
+	// RTCSharing shares the reduced transitive closure (this paper).
+	RTCSharing Strategy = iota
+	// FullSharing shares the full closure R+_G (Abul-Basher [8]).
+	FullSharing
+	// NoSharing evaluates every query independently (Yakovets et al. [5]).
+	NoSharing
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RTCSharing:
+		return "RTC"
+	case FullSharing:
+		return "Full"
+	case NoSharing:
+		return "No"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Strategy selects the evaluation method. Default: RTCSharing.
+	Strategy Strategy
+	// TCAlgo selects the transitive-closure algorithm used on the
+	// (reduced) graph. Default: BFS, matching Table III.
+	TCAlgo rtc.TCAlgorithm
+	// UseDFA determinises query automata before graph traversal.
+	UseDFA bool
+	// MaxDNFClauses bounds the DNF conversion; 0 means
+	// rpq.DefaultMaxClauses.
+	MaxDNFClauses int
+	// DisableCache turns off sharing of the closure structures across
+	// batch units (the BenchmarkAblationRTCCache ablation). NoSharing
+	// behaves as if it were always set (it never shares).
+	DisableCache bool
+}
+
+// Stats is the paper's timing and size accounting for a sequence of
+// evaluations (Section V-A):
+//
+//   - SharedData: computing the shared structure — TC(Ḡ_R) (plus SCCs)
+//     for RTCSharing, TC(G_R) for FullSharing. Evaluating R_G is excluded
+//     (both methods do it identically; it lands in Remainder).
+//   - PreJoin: the Pre_G ⋈ R+_G join — Algorithm 2 lines 4–12 for
+//     RTCSharing, the vertex-pair-level join for FullSharing.
+//   - Remainder: everything both methods share — DNF conversion,
+//     evaluating Pre_G and R_G, the Post join, and result unions.
+type Stats struct {
+	SharedData time.Duration
+	PreJoin    time.Duration
+	Remainder  time.Duration
+
+	// Queries is the number of top-level Evaluate calls.
+	Queries int
+	// CacheHits / CacheMisses count shared-structure lookups.
+	CacheHits, CacheMisses int
+}
+
+// Total returns the full query response time.
+func (s Stats) Total() time.Duration { return s.SharedData + s.PreJoin + s.Remainder }
+
+// SharedSummary describes one cached shared structure (one sub-query R).
+type SharedSummary struct {
+	// R is the canonical text of the sub-query.
+	R string
+	// SharedPairs is the pair count of the shared structure: |TC(Ḡ_R)|
+	// for RTCSharing, |TC(G_R)| for FullSharing (Fig. 12).
+	SharedPairs int
+	// ReducedVertices is |V̄_R̄| for RTCSharing and |V_R| for FullSharing
+	// (Fig. 13).
+	ReducedVertices int
+	// EdgeReducedVertices is |V_R| (both methods build G_R).
+	EdgeReducedVertices int
+	// AvgSCCSize is the average vertices per SCC of G_R (RTCSharing
+	// only; 0 for FullSharing).
+	AvgSCCSize float64
+}
+
+// Engine evaluates regular path queries over one graph with one strategy.
+// It is not safe for concurrent use.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+
+	rtcCache  map[string]*rtc.RTC
+	fullCache map[string]*tc.Closure
+	summaries map[string]SharedSummary
+	evaluated map[string]*pairs.Set // memo for R_G / Pre_G sub-evaluations
+	evalCache map[string]*eval.Evaluator
+
+	stats Stats
+}
+
+// New returns an Engine over g.
+func New(g *graph.Graph, opts Options) *Engine {
+	return &Engine{
+		g:         g,
+		opts:      opts,
+		rtcCache:  make(map[string]*rtc.RTC),
+		fullCache: make(map[string]*tc.Closure),
+		summaries: make(map[string]SharedSummary),
+		evaluated: make(map[string]*pairs.Set),
+		evalCache: make(map[string]*eval.Evaluator),
+	}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats returns the accumulated timing split.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the timing split (the caches are kept; use
+// ClearCaches to drop them).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// ClearCaches drops all shared structures and memoised sub-results.
+func (e *Engine) ClearCaches() {
+	e.rtcCache = make(map[string]*rtc.RTC)
+	e.fullCache = make(map[string]*tc.Closure)
+	e.summaries = make(map[string]SharedSummary)
+	e.evaluated = make(map[string]*pairs.Set)
+	e.evalCache = make(map[string]*eval.Evaluator)
+}
+
+// SharedSummaries returns one summary per cached shared structure, in
+// unspecified order.
+func (e *Engine) SharedSummaries() []SharedSummary {
+	out := make([]SharedSummary, 0, len(e.summaries))
+	for _, s := range e.summaries {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SharedPairsTotal sums SharedPairs over all cached shared structures —
+// the paper's "shared data size" metric (Fig. 12).
+func (e *Engine) SharedPairsTotal() int {
+	total := 0
+	for _, s := range e.summaries {
+		total += s.SharedPairs
+	}
+	return total
+}
+
+// EvaluateQuery parses and evaluates q.
+func (e *Engine) EvaluateQuery(q string) (*pairs.Set, error) {
+	expr, err := rpq.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Evaluate(expr)
+}
+
+// Evaluate computes Q_G for the query under the engine's strategy.
+func (e *Engine) Evaluate(q rpq.Expr) (*pairs.Set, error) {
+	e.stats.Queries++
+	return e.evaluateSharing(q)
+}
+
+// EvaluateSet evaluates a multiple-RPQ set in order, sharing structures
+// across the queries (for NoSharing, simply evaluating them one by one).
+func (e *Engine) EvaluateSet(qs []rpq.Expr) ([]*pairs.Set, error) {
+	out := make([]*pairs.Set, len(qs))
+	for i, q := range qs {
+		res, err := e.Evaluate(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// evaluator returns a cached automaton-product evaluator for the
+// expression.
+func (e *Engine) evaluator(q rpq.Expr) *eval.Evaluator {
+	key := q.String()
+	if ev, ok := e.evalCache[key]; ok {
+		return ev
+	}
+	ev := eval.New(e.g, q, eval.Options{UseDFA: e.opts.UseDFA})
+	e.evalCache[key] = ev
+	return ev
+}
+
+func (e *Engine) maxClauses() int {
+	if e.opts.MaxDNFClauses > 0 {
+		return e.opts.MaxDNFClauses
+	}
+	return rpq.DefaultMaxClauses
+}

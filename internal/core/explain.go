@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rtcshare/internal/rpq"
+)
+
+// Plan describes how the engine would evaluate a query: the DNF clauses
+// and their batch-unit decompositions, plus which closure structures are
+// already cached. It is a read-only inspection — building a Plan
+// evaluates nothing and mutates no caches.
+type Plan struct {
+	// Query is the canonical text of the query.
+	Query string
+	// Strategy that would execute the plan.
+	Strategy Strategy
+	// Clauses are the DNF batch units in evaluation order.
+	Clauses []PlanClause
+}
+
+// PlanClause is one DNF clause of a plan.
+type PlanClause struct {
+	// Clause is the canonical clause text.
+	Clause string
+	// Pre, R, Post are the batch-unit decomposition (Algorithm 1 line 4);
+	// Type is "+", "*" or "NULL".
+	Pre, R, Type, Post string
+	// SharedCached reports whether the closure structure for R is
+	// already in the engine's cache (an RTC for RTCSharing, a full
+	// closure for FullSharing; always false for NoSharing).
+	SharedCached bool
+	// PreHasKleene marks clauses whose Pre needs recursive evaluation.
+	PreHasKleene bool
+}
+
+// Explain parses and plans a query without executing it.
+func (e *Engine) ExplainQuery(q string) (*Plan, error) {
+	expr, err := rpq.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Explain(expr)
+}
+
+// Explain plans a query without executing it.
+func (e *Engine) Explain(q rpq.Expr) (*Plan, error) {
+	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Query: q.String(), Strategy: e.opts.Strategy}
+	for _, clause := range clauses {
+		bu := rpq.Decompose(clause)
+		pc := PlanClause{
+			Clause: clause.String(),
+			Pre:    bu.Pre.String(),
+			R:      bu.R.String(),
+			Type:   bu.Type.String(),
+			Post:   bu.Post.String(),
+		}
+		if bu.Type != rpq.ClosureNone {
+			pc.PreHasKleene = rpq.HasKleene(bu.Pre)
+			key := bu.R.String()
+			switch e.opts.Strategy {
+			case RTCSharing:
+				_, pc.SharedCached = e.rtcCache[key]
+			case FullSharing:
+				_, pc.SharedCached = e.fullCache[key]
+			}
+		}
+		plan.Clauses = append(plan.Clauses, pc)
+	}
+	return plan, nil
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan for %s (strategy %s, %d clause(s))\n", p.Query, p.Strategy, len(p.Clauses))
+	for i, c := range p.Clauses {
+		fmt.Fprintf(&sb, "  clause %d: %s\n", i+1, c.Clause)
+		if c.Type == rpq.ClosureNone.String() {
+			fmt.Fprintf(&sb, "    no Kleene closure: automaton-product evaluation\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "    Pre=%s  R=%s  Type=%s  Post=%s\n", c.Pre, c.R, c.Type, c.Post)
+		if c.PreHasKleene {
+			fmt.Fprintf(&sb, "    Pre contains Kleene closures: recursive evaluation\n")
+		}
+		if c.SharedCached {
+			fmt.Fprintf(&sb, "    shared structure for R: cached (reused)\n")
+		} else {
+			fmt.Fprintf(&sb, "    shared structure for R: will be computed\n")
+		}
+	}
+	return sb.String()
+}

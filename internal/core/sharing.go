@@ -1,0 +1,190 @@
+package core
+
+import (
+	"time"
+
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
+)
+
+// evaluateSharing implements Algorithm 1 (RTCSharing) and its FullSharing
+// counterpart: convert the query to DNF treating outermost Kleene
+// closures as literals, evaluate each clause as a batch unit, share the
+// closure structure of the rightmost Kleene sub-query R across batch
+// units, and union the clause results.
+func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
+	start := time.Now()
+	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
+	e.stats.Remainder += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	var result *pairs.Set
+	for _, clause := range clauses {
+		bu := rpq.Decompose(clause)
+		var clauseG *pairs.Set
+		if bu.Type == rpq.ClosureNone {
+			// Line 6: the clause has no Kleene closure.
+			t0 := time.Now()
+			clauseG = e.evaluator(bu.Post).EvaluateAll()
+			e.stats.Remainder += time.Since(t0)
+		} else {
+			// Line 8: Pre is evaluated recursively (it may contain
+			// further Kleene closures).
+			preG, err := e.subEvaluate(bu.Pre)
+			if err != nil {
+				return nil, err
+			}
+			switch e.opts.Strategy {
+			case RTCSharing:
+				r, err := e.getRTC(bu.R)
+				if err != nil {
+					return nil, err
+				}
+				clauseG, err = e.EvalBatchUnit(preG, r, bu.Type, bu.Post)
+				if err != nil {
+					return nil, err
+				}
+			case FullSharing, NoSharing:
+				// NoSharing runs the identical per-query pipeline —
+				// evaluate R, materialise the closure R+_G, join — but
+				// shouldCache() below keeps it from reusing anything
+				// across queries, which is exactly the paper's baseline
+				// behaviour (at one query it costs the same as
+				// FullSharing; Fig. 14).
+				closure, err := e.getFullClosure(bu.R)
+				if err != nil {
+					return nil, err
+				}
+				clauseG, err = e.EvalBatchUnitFull(preG, closure, bu.Type, bu.Post)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		t0 := time.Now()
+		if result == nil {
+			// First clause: adopt its (fresh) result set instead of
+			// copying it pair by pair. With a single-clause DNF — the
+			// common case — the final union disappears entirely.
+			result = clauseG
+		} else {
+			result.Union(clauseG)
+		}
+		e.stats.Remainder += time.Since(t0)
+	}
+	if result == nil {
+		result = pairs.NewSet()
+	}
+	return result, nil
+}
+
+// subEvaluate evaluates a sub-query (Pre or R) with the engine's own
+// sharing strategy, memoising results so repeated sub-queries across
+// batch units are not recomputed. Sub-evaluation time counts as
+// Remainder: both sharing methods perform it identically.
+func (e *Engine) subEvaluate(q rpq.Expr) (*pairs.Set, error) {
+	key := q.String()
+	if res, ok := e.evaluated[key]; ok {
+		return res, nil
+	}
+	res, err := e.evaluateSharing(q)
+	if err != nil {
+		return nil, err
+	}
+	if e.shouldCache() {
+		e.evaluated[key] = res
+	}
+	return res, nil
+}
+
+// shouldCache reports whether shared structures and sub-results may be
+// reused across queries. NoSharing never caches — that is its defining
+// property — and DisableCache turns reuse off for the ablation study.
+func (e *Engine) shouldCache() bool {
+	return e.opts.Strategy != NoSharing && !e.opts.DisableCache
+}
+
+// getRTC returns the cached RTC for R, computing and caching it on first
+// use (Algorithm 1 lines 9–11). Evaluating R_G is Remainder; the
+// reduction and TC(Ḡ_R) are Shared_Data.
+func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
+	key := r.String()
+	if cached, ok := e.rtcCache[key]; ok {
+		e.stats.CacheHits++
+		return cached, nil
+	}
+	e.stats.CacheMisses++
+
+	rg, err := e.subEvaluate(r) // line 10: R_G via recursive RTCSharing
+	if err != nil {
+		return nil, err
+	}
+
+	// The edge-level reduction G → G_R is performed identically by both
+	// sharing methods, so — like evaluating R_G — it counts as Remainder,
+	// not Shared_Data (paper Section V-A).
+	t0 := time.Now()
+	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
+	e.stats.Remainder += time.Since(t0)
+
+	// Shared_Data for RTCSharing: the vertex-level reduction (Tarjan +
+	// condensation) and TC(Ḡ_R). The paper attributes the reduction
+	// overhead here too — it is what makes RTCSharing slightly slower
+	// than FullSharing on the Yago2s shape.
+	t0 = time.Now()
+	structure := rtc.Compute(gr, e.opts.TCAlgo) // line 11: Compute_RTC
+	e.stats.SharedData += time.Since(t0)
+
+	if e.shouldCache() {
+		e.rtcCache[key] = structure
+	}
+	e.summaries[key] = SharedSummary{
+		R:                   key,
+		SharedPairs:         structure.NumSharedPairs(),
+		ReducedVertices:     structure.NumReducedVertices(),
+		EdgeReducedVertices: gr.NumActive(),
+		AvgSCCSize:          structure.Components().AverageSize(),
+	}
+	return structure, nil
+}
+
+// getFullClosure returns the cached full closure R+_G = TC(G_R) for
+// FullSharing, computing and caching it on first use.
+func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
+	key := r.String()
+	if cached, ok := e.fullCache[key]; ok {
+		e.stats.CacheHits++
+		return cached, nil
+	}
+	e.stats.CacheMisses++
+
+	rg, err := e.subEvaluate(r)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
+	e.stats.Remainder += time.Since(t0)
+
+	// Shared_Data for FullSharing: the closure of the *unreduced* G_R —
+	// Table III's O(|V_R|·|E_R|) computation.
+	t0 = time.Now()
+	closure := tc.BFS(gr)
+	e.stats.SharedData += time.Since(t0)
+
+	if e.shouldCache() {
+		e.fullCache[key] = closure
+	}
+	e.summaries[key] = SharedSummary{
+		R:                   key,
+		SharedPairs:         closure.NumPairs(),
+		ReducedVertices:     gr.NumActive(),
+		EdgeReducedVertices: gr.NumActive(),
+	}
+	return closure, nil
+}

@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"rtcshare/internal/graph"
+)
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMAT(RMATConfig{Vertices: 256, Edges: 1024, Labels: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Errorf("NumVertices = %d, want 256", g.NumVertices())
+	}
+	if g.NumEdges() != 1024 {
+		t.Errorf("NumEdges = %d, want exactly 1024 distinct triples", g.NumEdges())
+	}
+	if g.NumLabels() != 4 {
+		t.Errorf("NumLabels = %d, want 4", g.NumLabels())
+	}
+	if got, want := g.DegreePerLabel(), 1.0; got != want {
+		t.Errorf("DegreePerLabel = %v, want %v", got, want)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Vertices: 128, Edges: 512, Labels: 3, Seed: 42}
+	g1, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e1, e2 []graph.Edge
+	g1.Edges(func(e graph.Edge) bool { e1 = append(e1, e); return true })
+	g2.Edges(func(e graph.Edge) bool { e2 = append(e2, e); return true })
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	g3, err := RMAT(RMATConfig{Vertices: 128, Edges: 512, Labels: 3, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	var e3 []graph.Edge
+	g3.Edges(func(e graph.Edge) bool { e3 = append(e3, e); return true })
+	for i := range e1 {
+		if e1[i] != e3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// With a=0.57 the low-ID quadrant must attract far more edges than
+	// uniform: vertex 0's total degree should exceed the mean by a lot.
+	g, err := RMAT(RMATConfig{Vertices: 1024, Edges: 8192, Labels: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg0 := 0
+	var total int
+	g.Edges(func(e graph.Edge) bool {
+		if e.Src == 0 {
+			deg0++
+		}
+		total++
+		return true
+	})
+	mean := float64(total) / 1024.0
+	if float64(deg0) < 4*mean {
+		t.Errorf("vertex 0 out-degree %d not skewed (mean %.1f); RMAT recursion broken?", deg0, mean)
+	}
+}
+
+func TestRMATNonPowerOfTwoVertices(t *testing.T) {
+	g, err := RMAT(RMATConfig{Vertices: 1000, Edges: 3000, Labels: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 || g.NumEdges() != 3000 {
+		t.Fatalf("got %v", g.Stats())
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if int(e.Src) >= 1000 || int(e.Dst) >= 1000 {
+			t.Fatalf("edge %v out of range", e)
+		}
+		return true
+	})
+}
+
+func TestRMATErrors(t *testing.T) {
+	cases := []RMATConfig{
+		{Vertices: 0, Edges: 1, Labels: 1},
+		{Vertices: 4, Edges: 1, Labels: 0},
+		{Vertices: 4, Edges: -1, Labels: 1},
+		{Vertices: 2, Edges: 100, Labels: 1},                                           // > possible triples
+		{Vertices: 4, Edges: 1, Labels: 1, Params: RMATParams{A: 1, B: 1, C: 1, D: 1}}, // bad params
+		{Vertices: 4, Edges: 1, Labels: 1 << 17},
+	}
+	for i, cfg := range cases {
+		if _, err := RMAT(cfg); err == nil {
+			t.Errorf("case %d: want error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestPaperRMATN(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		g, err := PaperRMATN(n, 8, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDeg := math.Pow(2, float64(n-2))
+		if got := g.DegreePerLabel(); math.Abs(got-wantDeg) > 1e-9 {
+			t.Errorf("RMAT_%d degree = %v, want %v", n, got, wantDeg)
+		}
+	}
+	if _, err := PaperRMATN(-1, 8, 0); err == nil {
+		t.Error("want error for negative N")
+	}
+}
+
+func TestDatasetSpecs(t *testing.T) {
+	cases := []struct {
+		spec   DatasetSpec
+		degree float64
+	}{
+		{Yago2sStandIn, 0.02},
+		{Robots, 0.52},
+		{Advogato, 2.61},
+		{Youtube, 11.42},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Degree(); math.Abs(got-tc.degree) > 0.02 {
+			t.Errorf("%s degree = %.3f, want ≈%.2f (Table IV)", tc.spec.Name, got, tc.degree)
+		}
+	}
+	if len(RealDatasets()) != 4 {
+		t.Error("want 4 real datasets")
+	}
+}
+
+func TestDatasetGenerateMatchesSpec(t *testing.T) {
+	for _, spec := range []DatasetSpec{Robots, Youtube} {
+		g, err := spec.Generate(11)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		st := g.Stats()
+		if st.Vertices != spec.Vertices || st.Edges != spec.Edges || st.Labels != spec.Labels {
+			t.Errorf("%s: generated %v, want %+v", spec.Name, st, spec)
+		}
+	}
+}
+
+func TestScaledTo(t *testing.T) {
+	s := Advogato.ScaledTo(1000)
+	if s.Vertices != 1000 {
+		t.Fatalf("Vertices = %d", s.Vertices)
+	}
+	if math.Abs(s.Degree()-Advogato.Degree()) > 0.01 {
+		t.Errorf("ScaledTo changed degree: %v vs %v", s.Degree(), Advogato.Degree())
+	}
+}
+
+func TestRMATSpecName(t *testing.T) {
+	s := RMATSpec(3, 10)
+	if s.Name != "RMAT_3" || s.Vertices != 1024 || s.Edges != 8192 || s.Labels != 4 {
+		t.Errorf("RMATSpec = %+v", s)
+	}
+	if s.Degree() != 2.0 {
+		t.Errorf("RMAT_3 degree = %v, want 2", s.Degree())
+	}
+}

@@ -1,0 +1,175 @@
+// Package datagen generates the evaluation datasets of Section V-A.
+//
+// Synthetic graphs follow the RMAT recursive-matrix model [17]; the paper
+// drew them with TrillionG [18], which samples from the same
+// distribution — see DESIGN.md for the substitution note. RMAT_N in the
+// paper has 2^13 vertices and 2^(N+13) edges over four labels, so the
+// average vertex degree per label |E|/(|V|·|Σ|) is 2^(N-2).
+//
+// The four real datasets (Yago2s, Robots, Advogato, Youtube) are replaced
+// by synthetic stand-ins that reproduce the published |V|, |E| and |Σ| of
+// Table IV — and therefore the degree-per-label statistic that the
+// paper's analysis attributes all performance behaviour to.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtcshare/internal/graph"
+)
+
+// RMATParams are the quadrant probabilities of the recursive-matrix
+// model. They must be positive and sum to 1.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMAT is the parameterisation commonly used for scale-free
+// graphs (and TrillionG's default): a=0.57, b=0.19, c=0.19, d=0.05.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+func (p RMATParams) validate() error {
+	sum := p.A + p.B + p.C + p.D
+	if p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 {
+		return fmt.Errorf("datagen: RMAT params must be positive, got %+v", p)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("datagen: RMAT params must sum to 1, got %g", sum)
+	}
+	return nil
+}
+
+// RMATConfig describes one synthetic graph.
+type RMATConfig struct {
+	// Vertices is |V|. It need not be a power of two; edges are sampled
+	// in the enclosing power-of-two space and rejected when out of range.
+	Vertices int
+	// Edges is the number of distinct (src, label, dst) triples to
+	// produce.
+	Edges int
+	// Labels is |Σ|; labels are named l0, l1, … and assigned uniformly
+	// at random, as the paper does on TrillionG output.
+	Labels int
+	// Params are the RMAT quadrant probabilities; zero value means
+	// DefaultRMAT.
+	Params RMATParams
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// RMAT generates an edge-labeled directed multigraph from the
+// recursive-matrix distribution.
+func RMAT(cfg RMATConfig) (*graph.Graph, error) {
+	if cfg.Vertices <= 0 {
+		return nil, fmt.Errorf("datagen: Vertices must be positive, got %d", cfg.Vertices)
+	}
+	if cfg.Labels <= 0 {
+		return nil, fmt.Errorf("datagen: Labels must be positive, got %d", cfg.Labels)
+	}
+	if cfg.Labels > 1<<16 {
+		return nil, fmt.Errorf("datagen: at most %d labels, got %d", 1<<16, cfg.Labels)
+	}
+	if cfg.Edges < 0 {
+		return nil, fmt.Errorf("datagen: negative edge count %d", cfg.Edges)
+	}
+	params := cfg.Params
+	if params == (RMATParams{}) {
+		params = DefaultRMAT
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	maxTriples := cfg.Vertices * cfg.Vertices * cfg.Labels
+	if cfg.Edges > maxTriples {
+		return nil, fmt.Errorf("datagen: %d edges exceed the %d distinct triples possible", cfg.Edges, maxTriples)
+	}
+
+	levels := 0
+	for 1<<levels < cfg.Vertices {
+		levels++
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(cfg.Vertices)
+	labelNames := make([]string, cfg.Labels)
+	for i := range labelNames {
+		labelNames[i] = fmt.Sprintf("l%d", i)
+		b.Dict().Intern(labelNames[i])
+	}
+
+	seen := make(map[uint64]struct{}, cfg.Edges)
+	pack := func(src graph.VID, label graph.LID, dst graph.VID) uint64 {
+		return uint64(uint32(src))<<48 | uint64(uint16(label))<<32 | uint64(uint32(dst))
+	}
+	if cfg.Vertices > 1<<16 {
+		// The 16-bit src field above would truncate; widen the packing.
+		pack = func(src graph.VID, label graph.LID, dst graph.VID) uint64 {
+			return (uint64(uint32(src))*uint64(cfg.Labels)+uint64(uint32(label)))*
+				uint64(cfg.Vertices) + uint64(uint32(dst))
+		}
+	}
+
+	// Rejection sampling until the requested number of distinct triples
+	// exists. The attempt bound guards degenerate configurations where
+	// the distribution cannot produce enough distinct triples.
+	maxAttempts := 100 * cfg.Edges
+	attempts := 0
+	for len(seen) < cfg.Edges {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("datagen: gave up after %d attempts at %d/%d edges (graph too dense for RMAT skew?)",
+				attempts, len(seen), cfg.Edges)
+		}
+		src, dst := rmatEdge(rng, levels, params)
+		if int(src) >= cfg.Vertices || int(dst) >= cfg.Vertices {
+			continue
+		}
+		label := graph.LID(rng.Intn(cfg.Labels))
+		k := pack(src, label, dst)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if err := b.AddEdgeLID(src, label, dst); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// rmatEdge draws one (src, dst) pair by recursive quadrant descent.
+func rmatEdge(rng *rand.Rand, levels int, p RMATParams) (graph.VID, graph.VID) {
+	var src, dst int
+	for l := 0; l < levels; l++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: nothing to add
+		case r < p.A+p.B:
+			dst |= 1 << l
+		case r < p.A+p.B+p.C:
+			src |= 1 << l
+		default:
+			src |= 1 << l
+			dst |= 1 << l
+		}
+	}
+	return graph.VID(src), graph.VID(dst)
+}
+
+// PaperRMATN builds the paper's RMAT_N dataset at a configurable scale:
+// |V| = 2^scaleExp, |E| = 2^(N+scaleExp), |Σ| = 4, so the degree per
+// label is 2^(N-2) exactly as in Section V-A (the paper uses
+// scaleExp = 13).
+func PaperRMATN(n, scaleExp int, seed int64) (*graph.Graph, error) {
+	if n < 0 || scaleExp <= 0 {
+		return nil, fmt.Errorf("datagen: bad RMAT_N parameters n=%d scaleExp=%d", n, scaleExp)
+	}
+	return RMAT(RMATConfig{
+		Vertices: 1 << scaleExp,
+		Edges:    1 << (n + scaleExp),
+		Labels:   4,
+		Seed:     seed,
+	})
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+)
+
+// Reference computes R_G compositionally over relations: labels become
+// edge relations, concatenation becomes join (Lemma 4), alternation
+// becomes union, and Kleene plus becomes the transitive closure of the
+// sub-relation computed by naive fixed-point iteration (Lemma 1).
+//
+// It is an O(|V|³)-ish oracle, deliberately independent of the automaton
+// machinery, used by property tests across the repository to validate
+// every evaluation engine. Do not use it on large graphs.
+func Reference(g *graph.Graph, e rpq.Expr) *pairs.Set {
+	switch e := e.(type) {
+	case rpq.Label:
+		out := pairs.NewSet()
+		lid, ok := g.Dict().Lookup(e.Name)
+		if !ok {
+			return out
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Successors(graph.VID(v), lid) {
+				if e.Inverse {
+					out.Add(w, graph.VID(v)) // ^label: the converse relation
+				} else {
+					out.Add(graph.VID(v), w)
+				}
+			}
+		}
+		return out
+	case rpq.Epsilon:
+		return identityAll(g)
+	case rpq.Concat:
+		if len(e.Parts) == 0 {
+			return identityAll(g)
+		}
+		acc := Reference(g, e.Parts[0])
+		for _, p := range e.Parts[1:] {
+			acc = joinRelations(acc, Reference(g, p))
+		}
+		return acc
+	case rpq.Alt:
+		out := pairs.NewSet()
+		for _, a := range e.Alts {
+			out.Union(Reference(g, a))
+		}
+		return out
+	case rpq.Plus:
+		return transitiveClosure(Reference(g, e.Sub))
+	case rpq.Star:
+		return transitiveClosure(Reference(g, e.Sub)).Union(identityAll(g))
+	case rpq.Opt:
+		return Reference(g, e.Sub).Union(identityAll(g))
+	}
+	panic("eval: unknown expression type")
+}
+
+func identityAll(g *graph.Graph) *pairs.Set {
+	out := pairs.NewSetCap(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		out.Add(graph.VID(v), graph.VID(v))
+	}
+	return out
+}
+
+// joinRelations computes π_{a.Src, b.Dst}(a ⋈_{a.Dst=b.Src} b).
+func joinRelations(a, b *pairs.Set) *pairs.Set {
+	// Index b by source.
+	bySrc := make(map[graph.VID][]graph.VID)
+	b.Each(func(src, dst graph.VID) bool {
+		bySrc[src] = append(bySrc[src], dst)
+		return true
+	})
+	out := pairs.NewSet()
+	a.Each(func(src, mid graph.VID) bool {
+		for _, dst := range bySrc[mid] {
+			out.Add(src, dst)
+		}
+		return true
+	})
+	return out
+}
+
+// transitiveClosure iterates R ← R ∪ (R ⋈ R₀) to a fixed point.
+func transitiveClosure(r *pairs.Set) *pairs.Set {
+	closure := r.Clone()
+	for {
+		next := joinRelations(closure, r)
+		before := closure.Len()
+		closure.Union(next)
+		if closure.Len() == before {
+			return closure
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package fixtures
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	g := Figure1()
+	if g.NumVertices() != 10 {
+		t.Errorf("|V| = %d, want 10", g.NumVertices())
+	}
+	if g.NumEdges() != 15 {
+		t.Errorf("|E| = %d, want 15", g.NumEdges())
+	}
+	if g.NumLabels() != 6 {
+		t.Errorf("|Σ| = %d, want 6 (a..f)", g.NumLabels())
+	}
+	d, ok := g.Dict().Lookup("d")
+	if !ok || !g.HasEdge(7, d, 4) {
+		t.Error("e(v7, d, v4) missing — the running example's entry edge")
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	labels := []string{"a", "b"}
+	g1 := RandomGraph(rand.New(rand.NewSource(5)), 10, 20, labels)
+	g2 := RandomGraph(rand.New(rand.NewSource(5)), 10, 20, labels)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Error("same seed produced different graphs")
+	}
+	if g1.NumVertices() != 10 {
+		t.Errorf("|V| = %d", g1.NumVertices())
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import "fmt"
+
+// Dict is a bidirectional label dictionary mapping label strings to dense
+// LIDs. It is not safe for concurrent mutation; freeze before sharing.
+type Dict struct {
+	byName map[string]LID
+	byID   []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]LID)}
+}
+
+// NewDictFrom returns a dictionary preloaded with the given labels in order.
+func NewDictFrom(labels ...string) *Dict {
+	d := NewDict()
+	for _, l := range labels {
+		d.Intern(l)
+	}
+	return d
+}
+
+// Intern returns the LID of the label, assigning the next dense ID if the
+// label is new.
+func (d *Dict) Intern(label string) LID {
+	if id, ok := d.byName[label]; ok {
+		return id
+	}
+	id := LID(len(d.byID))
+	d.byName[label] = id
+	d.byID = append(d.byID, label)
+	return id
+}
+
+// Lookup returns the LID of the label and whether it is known.
+func (d *Dict) Lookup(label string) (LID, bool) {
+	id, ok := d.byName[label]
+	return id, ok
+}
+
+// Name returns the label string for an LID. It panics on unknown IDs,
+// which always indicates a programming error (LIDs are dense).
+func (d *Dict) Name(id LID) string {
+	if id < 0 || int(id) >= len(d.byID) {
+		panic(fmt.Sprintf("graph: unknown label id %d", id))
+	}
+	return d.byID[id]
+}
+
+// Len returns the number of labels interned so far.
+func (d *Dict) Len() int { return len(d.byID) }
+
+// Names returns all label strings in LID order. The caller must not
+// modify the returned slice.
+func (d *Dict) Names() []string { return d.byID }

@@ -1,0 +1,130 @@
+package graph
+
+import "sort"
+
+// DiGraph is an immutable unlabeled simple directed graph in CSR form.
+// It represents the products of RPQ-based graph reduction: the edge-level
+// reduced graph G_R and the vertex-level reduced graph Ḡ_R (Section III).
+//
+// A DiGraph lives in a dense VID space [0, NumVertices). For G_R that
+// space is shared with the original graph G; the vertices that actually
+// belong to V_R (endpoints of at least one edge) are exposed through
+// Active and ActiveVertices.
+type DiGraph struct {
+	numVertices int
+	numEdges    int
+	fwd         adjacency
+	rev         adjacency
+	active      []VID // sorted VIDs with in-degree+out-degree > 0
+}
+
+// NumVertices returns the size of the VID space (not |V_R|; see NumActive).
+func (d *DiGraph) NumVertices() int { return d.numVertices }
+
+// NumEdges returns the number of distinct directed edges.
+func (d *DiGraph) NumEdges() int { return d.numEdges }
+
+// NumActive returns |V_R|: the number of vertices incident to at least
+// one edge.
+func (d *DiGraph) NumActive() int { return len(d.active) }
+
+// ActiveVertices returns the sorted VIDs incident to at least one edge.
+// The caller must not modify the returned slice.
+func (d *DiGraph) ActiveVertices() []VID { return d.active }
+
+// Successors returns the out-neighbors of v, sorted ascending.
+// The returned slice aliases internal storage.
+func (d *DiGraph) Successors(v VID) []VID { return d.fwd.neighbors(v) }
+
+// Predecessors returns the in-neighbors of v, sorted ascending.
+// The returned slice aliases internal storage.
+func (d *DiGraph) Predecessors(v VID) []VID { return d.rev.neighbors(v) }
+
+// OutDegree returns the number of out-neighbors of v.
+func (d *DiGraph) OutDegree(v VID) int { return d.fwd.degree(v) }
+
+// InDegree returns the number of in-neighbors of v.
+func (d *DiGraph) InDegree(v VID) int { return d.rev.degree(v) }
+
+// HasEdge reports whether the edge (src, dst) exists.
+func (d *DiGraph) HasEdge(src, dst VID) bool {
+	ns := d.Successors(src)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= dst })
+	return i < len(ns) && ns[i] == dst
+}
+
+// Edges calls fn for every edge in (src, dst) order, stopping early if fn
+// returns false.
+func (d *DiGraph) Edges(fn func(src, dst VID) bool) {
+	for v := 0; v+1 < len(d.fwd.offsets); v++ {
+		for _, w := range d.fwd.neighbors(VID(v)) {
+			if !fn(VID(v), w) {
+				return
+			}
+		}
+	}
+}
+
+// DiBuilder accumulates unlabeled edges and freezes them into a DiGraph.
+type DiBuilder struct {
+	numVertices int
+	srcs        []VID
+	dsts        []VID
+}
+
+// NewDiBuilder returns a builder over the dense VID space [0, numVertices).
+func NewDiBuilder(numVertices int) *DiBuilder {
+	if numVertices < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &DiBuilder{numVertices: numVertices}
+}
+
+// AddEdge records the directed edge (src, dst). Duplicates are collapsed
+// at Build time (G_R is a simple graph). Out-of-range endpoints panic:
+// reductions always produce VIDs within the source graph's space, so a
+// violation is a programming error.
+func (b *DiBuilder) AddEdge(src, dst VID) {
+	if src < 0 || int(src) >= b.numVertices || dst < 0 || int(dst) >= b.numVertices {
+		panic("graph: digraph edge out of range")
+	}
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+}
+
+// NumPending returns the number of edges recorded so far (pre-dedup).
+func (b *DiBuilder) NumPending() int { return len(b.srcs) }
+
+// Build freezes the accumulated edges into an immutable DiGraph.
+func (b *DiBuilder) Build() *DiGraph {
+	n := b.numVertices
+	es := make([]Edge, len(b.srcs))
+	for i := range b.srcs {
+		es[i] = Edge{Src: b.srcs[i], Dst: b.dsts[i]}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	es = dedupEdges(es)
+
+	d := &DiGraph{numVertices: n, numEdges: len(es)}
+	d.fwd = buildCSR(n, es, false)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Dst != es[j].Dst {
+			return es[i].Dst < es[j].Dst
+		}
+		return es[i].Src < es[j].Src
+	})
+	d.rev = buildCSR(n, es, true)
+
+	for v := 0; v < n; v++ {
+		if d.fwd.degree(VID(v)) > 0 || d.rev.degree(VID(v)) > 0 {
+			d.active = append(d.active, VID(v))
+		}
+	}
+	b.srcs, b.dsts = nil, nil
+	return d
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiGraphBasic(t *testing.T) {
+	b := NewDiBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 2) // duplicate — simple graph collapses it
+	b.AddEdge(2, 0)
+	d := b.Build()
+
+	if d.NumVertices() != 5 {
+		t.Errorf("NumVertices = %d, want 5", d.NumVertices())
+	}
+	if d.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3 (dup collapsed)", d.NumEdges())
+	}
+	if got := d.Successors(1); !reflect.DeepEqual(got, []VID{2}) {
+		t.Errorf("Successors(1) = %v, want [2]", got)
+	}
+	if got := d.Predecessors(0); !reflect.DeepEqual(got, []VID{2}) {
+		t.Errorf("Predecessors(0) = %v, want [2]", got)
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Error("HasEdge direction wrong")
+	}
+	if got := d.NumActive(); got != 3 {
+		t.Errorf("NumActive = %d, want 3 (v3, v4 isolated)", got)
+	}
+	if got := d.ActiveVertices(); !reflect.DeepEqual(got, []VID{0, 1, 2}) {
+		t.Errorf("ActiveVertices = %v", got)
+	}
+	if d.OutDegree(1) != 1 || d.InDegree(2) != 1 {
+		t.Error("degree accounting wrong")
+	}
+}
+
+func TestDiGraphSelfLoop(t *testing.T) {
+	b := NewDiBuilder(2)
+	b.AddEdge(0, 0)
+	d := b.Build()
+	if !d.HasEdge(0, 0) {
+		t.Error("self-loop missing")
+	}
+	if d.NumActive() != 1 {
+		t.Errorf("NumActive = %d, want 1", d.NumActive())
+	}
+}
+
+func TestDiGraphEdgesEarlyStop(t *testing.T) {
+	b := NewDiBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	d := b.Build()
+	n := 0
+	d.Edges(func(src, dst VID) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+func TestDiBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	NewDiBuilder(1).AddEdge(0, 1)
+}
+
+// Property: forward and reverse adjacency are mirror images.
+func TestDiGraphForwardReverseMirror(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		b := NewDiBuilder(n)
+		for i := rng.Intn(80); i > 0; i-- {
+			b.AddEdge(VID(rng.Intn(n)), VID(rng.Intn(n)))
+		}
+		d := b.Build()
+		fwdCount, revCount := 0, 0
+		for v := VID(0); int(v) < n; v++ {
+			for _, w := range d.Successors(v) {
+				fwdCount++
+				found := false
+				for _, p := range d.Predecessors(w) {
+					if p == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			revCount += d.InDegree(v)
+		}
+		return fwdCount == revCount && fwdCount == d.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

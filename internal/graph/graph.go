@@ -1,0 +1,306 @@
+// Package graph implements the data model of the paper: an edge-labeled,
+// directed multigraph G = (V, E, f, Σ, l) (Section II-A), together with the
+// unlabeled simple digraphs produced by RPQ-based graph reduction
+// (Section III).
+//
+// Vertices are dense integer IDs (VID). Labels are dense integer IDs (LID)
+// managed by a Dict. A multigraph may hold several edges between the same
+// ordered vertex pair as long as their labels differ; (src, label, dst)
+// triples are unique.
+//
+// Graphs are built with a Builder and frozen into an immutable CSR
+// (compressed sparse row) representation with both forward and reverse
+// adjacency per label, which is the access pattern the automaton-product
+// evaluator and the reductions need.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VID identifies a vertex. VIDs are dense: a graph with n vertices uses
+// VIDs 0..n-1.
+type VID = int32
+
+// LID identifies an edge label. LIDs are dense within a graph's Dict.
+type LID = int32
+
+// Edge is one labeled directed edge e(Src, Label, Dst).
+type Edge struct {
+	Src   VID
+	Label LID
+	Dst   VID
+}
+
+// Graph is an immutable edge-labeled directed multigraph in CSR form.
+// Build one with a Builder.
+type Graph struct {
+	numVertices int
+	numEdges    int
+	dict        *Dict
+
+	// fwd[l] holds the forward adjacency of label l; rev[l] the reverse.
+	fwd []adjacency
+	rev []adjacency
+}
+
+// adjacency is a CSR slice: neighbors of vertex v are
+// targets[offsets[v]:offsets[v+1]], sorted ascending.
+type adjacency struct {
+	offsets []int32
+	targets []VID
+}
+
+func (a adjacency) neighbors(v VID) []VID {
+	return a.targets[a.offsets[v]:a.offsets[v+1]]
+}
+
+func (a adjacency) degree(v VID) int {
+	return int(a.offsets[v+1] - a.offsets[v])
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns |E| counting each (src, label, dst) triple once.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels returns |Σ|.
+func (g *Graph) NumLabels() int { return g.dict.Len() }
+
+// Dict returns the label dictionary shared by this graph.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// Successors returns the vertices w such that e(v, label, w) ∈ E,
+// sorted ascending. The returned slice aliases internal storage and must
+// not be modified.
+func (g *Graph) Successors(v VID, label LID) []VID {
+	if int(label) >= len(g.fwd) {
+		return nil
+	}
+	return g.fwd[label].neighbors(v)
+}
+
+// Predecessors returns the vertices u such that e(u, label, v) ∈ E,
+// sorted ascending. The returned slice aliases internal storage and must
+// not be modified.
+func (g *Graph) Predecessors(v VID, label LID) []VID {
+	if int(label) >= len(g.rev) {
+		return nil
+	}
+	return g.rev[label].neighbors(v)
+}
+
+// HasEdge reports whether e(src, label, dst) ∈ E.
+func (g *Graph) HasEdge(src VID, label LID, dst VID) bool {
+	ns := g.Successors(src, label)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= dst })
+	return i < len(ns) && ns[i] == dst
+}
+
+// OutDegree returns the number of edges leaving v with the given label.
+func (g *Graph) OutDegree(v VID, label LID) int {
+	if int(label) >= len(g.fwd) {
+		return 0
+	}
+	return g.fwd[label].degree(v)
+}
+
+// LabelEdgeCount returns the number of edges carrying the given label.
+func (g *Graph) LabelEdgeCount(label LID) int {
+	if int(label) >= len(g.fwd) {
+		return 0
+	}
+	return len(g.fwd[label].targets)
+}
+
+// Edges calls fn for every edge in the graph in (label, src, dst) order.
+// It stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for l := range g.fwd {
+		adj := g.fwd[l]
+		for v := 0; v+1 < len(adj.offsets); v++ {
+			for _, w := range adj.neighbors(VID(v)) {
+				if !fn(Edge{Src: VID(v), Label: LID(l), Dst: w}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// DegreePerLabel returns |E| / (|V|·|Σ|), the average vertex degree per
+// label — the statistic the paper's evaluation sweeps (Table IV).
+func (g *Graph) DegreePerLabel() float64 {
+	if g.numVertices == 0 || g.dict.Len() == 0 {
+		return 0
+	}
+	return float64(g.numEdges) / (float64(g.numVertices) * float64(g.dict.Len()))
+}
+
+// Stats summarises a graph for reporting (paper Table IV).
+type Stats struct {
+	Vertices       int
+	Edges          int
+	Labels         int
+	DegreePerLabel float64
+}
+
+// Stats returns the Table IV statistics of g.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Vertices:       g.numVertices,
+		Edges:          g.numEdges,
+		Labels:         g.dict.Len(),
+		DegreePerLabel: g.DegreePerLabel(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d |Σ|=%d degree=%.4f",
+		s.Vertices, s.Edges, s.Labels, s.DegreePerLabel)
+}
+
+// Builder accumulates edges and freezes them into a Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	numVertices int
+	dict        *Dict
+	edges       []Edge
+	frozen      bool
+}
+
+// NewBuilder returns a Builder for a graph with the given number of
+// vertices. Vertices are implicit: every VID in [0, numVertices) exists.
+func NewBuilder(numVertices int) *Builder {
+	if numVertices < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{numVertices: numVertices, dict: NewDict()}
+}
+
+// NewBuilderWithDict returns a Builder that shares an existing label
+// dictionary, so several graphs can agree on LIDs.
+func NewBuilderWithDict(numVertices int, dict *Dict) *Builder {
+	b := NewBuilder(numVertices)
+	b.dict = dict
+	return b
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.numVertices }
+
+// Dict returns the label dictionary used by this builder.
+func (b *Builder) Dict() *Dict { return b.dict }
+
+// AddEdge records the edge e(src, label, dst), interning the label string.
+// It returns an error if either endpoint is out of range.
+func (b *Builder) AddEdge(src VID, label string, dst VID) error {
+	return b.AddEdgeLID(src, b.dict.Intern(label), dst)
+}
+
+// AddEdgeLID records the edge with an already-interned label.
+func (b *Builder) AddEdgeLID(src VID, label LID, dst VID) error {
+	if b.frozen {
+		return fmt.Errorf("graph: builder already frozen")
+	}
+	if src < 0 || int(src) >= b.numVertices || dst < 0 || int(dst) >= b.numVertices {
+		return fmt.Errorf("graph: edge (%d,%d,%d) out of range [0,%d)", src, label, dst, b.numVertices)
+	}
+	if label < 0 || int(label) >= b.dict.Len() {
+		return fmt.Errorf("graph: unknown label id %d", label)
+	}
+	b.edges = append(b.edges, Edge{Src: src, Label: label, Dst: dst})
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; convenient in tests and
+// examples where coordinates are static.
+func (b *Builder) MustAddEdge(src VID, label string, dst VID) {
+	if err := b.AddEdge(src, label, dst); err != nil {
+		panic(err)
+	}
+}
+
+// Build freezes the accumulated edges into an immutable Graph.
+// Duplicate (src, label, dst) triples are collapsed to one edge, enforcing
+// the multigraph constraint that parallel edges carry distinct labels.
+func (b *Builder) Build() *Graph {
+	b.frozen = true
+	numLabels := b.dict.Len()
+	g := &Graph{
+		numVertices: b.numVertices,
+		dict:        b.dict,
+		fwd:         make([]adjacency, numLabels),
+		rev:         make([]adjacency, numLabels),
+	}
+
+	// Bucket edges per label, then build fwd and rev CSR per label.
+	perLabel := make([][]Edge, numLabels)
+	for _, e := range b.edges {
+		perLabel[e.Label] = append(perLabel[e.Label], e)
+	}
+	for l := 0; l < numLabels; l++ {
+		es := perLabel[l]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Src != es[j].Src {
+				return es[i].Src < es[j].Src
+			}
+			return es[i].Dst < es[j].Dst
+		})
+		es = dedupEdges(es)
+		g.numEdges += len(es)
+		g.fwd[l] = buildCSR(b.numVertices, es, false)
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Dst != es[j].Dst {
+				return es[i].Dst < es[j].Dst
+			}
+			return es[i].Src < es[j].Src
+		})
+		g.rev[l] = buildCSR(b.numVertices, es, true)
+	}
+	b.edges = nil
+	return g
+}
+
+func dedupEdges(es []Edge) []Edge {
+	if len(es) == 0 {
+		return es
+	}
+	out := es[:1]
+	for _, e := range es[1:] {
+		last := out[len(out)-1]
+		if e.Src != last.Src || e.Dst != last.Dst {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// buildCSR builds an adjacency from edges sorted by the key vertex
+// (src when reverse=false, dst when reverse=true).
+func buildCSR(numVertices int, es []Edge, reverse bool) adjacency {
+	offsets := make([]int32, numVertices+1)
+	targets := make([]VID, len(es))
+	for _, e := range es {
+		key := e.Src
+		if reverse {
+			key = e.Dst
+		}
+		offsets[key+1]++
+	}
+	for v := 0; v < numVertices; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	cursor := make([]int32, numVertices)
+	for _, e := range es {
+		key, val := e.Src, e.Dst
+		if reverse {
+			key, val = e.Dst, e.Src
+		}
+		targets[offsets[key]+cursor[key]] = val
+		cursor[key]++
+	}
+	return adjacency{offsets: offsets, targets: targets}
+}

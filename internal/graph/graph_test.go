@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.MustAddEdge(0, "a", 1)
+	b.MustAddEdge(1, "b", 2)
+	b.MustAddEdge(1, "a", 2)
+	b.MustAddEdge(2, "a", 0)
+	b.MustAddEdge(3, "c", 3)
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildSmall(t)
+	if got := g.NumVertices(); got != 4 {
+		t.Fatalf("NumVertices = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 5 {
+		t.Fatalf("NumEdges = %d, want 5", got)
+	}
+	if got := g.NumLabels(); got != 3 {
+		t.Fatalf("NumLabels = %d, want 3", got)
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	g := buildSmall(t)
+	a, _ := g.Dict().Lookup("a")
+	b, _ := g.Dict().Lookup("b")
+	c, _ := g.Dict().Lookup("c")
+
+	if got := g.Successors(1, a); !reflect.DeepEqual(got, []VID{2}) {
+		t.Errorf("Successors(1,a) = %v, want [2]", got)
+	}
+	if got := g.Successors(1, b); !reflect.DeepEqual(got, []VID{2}) {
+		t.Errorf("Successors(1,b) = %v, want [2]", got)
+	}
+	if got := g.Predecessors(2, a); !reflect.DeepEqual(got, []VID{1}) {
+		t.Errorf("Predecessors(2,a) = %v, want [1]", got)
+	}
+	if got := g.Successors(3, c); !reflect.DeepEqual(got, []VID{3}) {
+		t.Errorf("Successors(3,c) = %v, want self-loop [3]", got)
+	}
+	if got := g.Successors(0, b); len(got) != 0 {
+		t.Errorf("Successors(0,b) = %v, want empty", got)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildSmall(t)
+	a, _ := g.Dict().Lookup("a")
+	b, _ := g.Dict().Lookup("b")
+	if !g.HasEdge(0, a, 1) {
+		t.Error("HasEdge(0,a,1) = false, want true")
+	}
+	if g.HasEdge(0, b, 1) {
+		t.Error("HasEdge(0,b,1) = true, want false")
+	}
+	if g.HasEdge(1, a, 0) {
+		t.Error("HasEdge(1,a,0) = true, want false (direction matters)")
+	}
+}
+
+func TestParallelEdgesDistinctLabels(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, "x", 1)
+	b.MustAddEdge(0, "y", 1)
+	b.MustAddEdge(0, "x", 1) // duplicate triple, must collapse
+	g := b.Build()
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (duplicate (src,label,dst) collapsed)", got)
+	}
+}
+
+func TestAddEdgeRangeErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, "a", 2); err == nil {
+		t.Error("AddEdge(0,a,2): want range error, got nil")
+	}
+	if err := b.AddEdge(-1, "a", 0); err == nil {
+		t.Error("AddEdge(-1,a,0): want range error, got nil")
+	}
+	if err := b.AddEdgeLID(0, 99, 1); err == nil {
+		t.Error("AddEdgeLID with unknown label: want error, got nil")
+	}
+	b.MustAddEdge(0, "a", 1)
+	b.Build()
+	if err := b.AddEdge(0, "a", 1); err == nil {
+		t.Error("AddEdge after Build: want frozen error, got nil")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := buildSmall(t)
+	var got []Edge
+	g.Edges(func(e Edge) bool {
+		got = append(got, e)
+		return true
+	})
+	if len(got) != g.NumEdges() {
+		t.Fatalf("Edges visited %d edges, want %d", len(got), g.NumEdges())
+	}
+	// Early stop.
+	n := 0
+	g.Edges(func(Edge) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("Edges early stop visited %d, want 2", n)
+	}
+}
+
+func TestDegreePerLabel(t *testing.T) {
+	g := buildSmall(t)
+	want := 5.0 / (4.0 * 3.0)
+	if got := g.DegreePerLabel(); got != want {
+		t.Errorf("DegreePerLabel = %v, want %v", got, want)
+	}
+	empty := NewBuilder(0).Build()
+	if got := empty.DegreePerLabel(); got != 0 {
+		t.Errorf("empty DegreePerLabel = %v, want 0", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := buildSmall(t).Stats()
+	if s.Vertices != 4 || s.Edges != 5 || s.Labels != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String() empty")
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDictFrom("a", "b")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if id := d.Intern("a"); id != 0 {
+		t.Errorf("Intern(a) = %d, want 0 (idempotent)", id)
+	}
+	if id := d.Intern("c"); id != 2 {
+		t.Errorf("Intern(c) = %d, want 2", id)
+	}
+	if name := d.Name(1); name != "b" {
+		t.Errorf("Name(1) = %q, want b", name)
+	}
+	if _, ok := d.Lookup("zzz"); ok {
+		t.Error("Lookup(zzz) found, want missing")
+	}
+	if got := d.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestDictNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Name(99) did not panic")
+		}
+	}()
+	NewDict().Name(99)
+}
+
+// Property: CSR adjacency agrees with a map-of-sets reference model for
+// random multigraphs.
+func TestCSRAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		numLabels := 1 + rng.Intn(4)
+		labels := make([]string, numLabels)
+		for i := range labels {
+			labels[i] = string(rune('a' + i))
+		}
+		type key struct {
+			src VID
+			l   string
+		}
+		ref := make(map[key]map[VID]bool)
+		b := NewBuilder(n)
+		m := rng.Intn(60)
+		for i := 0; i < m; i++ {
+			src := VID(rng.Intn(n))
+			dst := VID(rng.Intn(n))
+			l := labels[rng.Intn(numLabels)]
+			b.MustAddEdge(src, l, dst)
+			k := key{src, l}
+			if ref[k] == nil {
+				ref[k] = make(map[VID]bool)
+			}
+			ref[k][dst] = true
+		}
+		g := b.Build()
+		for v := VID(0); int(v) < n; v++ {
+			for _, l := range labels {
+				lid, ok := g.Dict().Lookup(l)
+				if !ok {
+					continue
+				}
+				got := g.Successors(v, lid)
+				want := ref[key{v, l}]
+				if len(got) != len(want) {
+					return false
+				}
+				if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+					return false
+				}
+				for _, w := range got {
+					if !want[w] {
+						return false
+					}
+					// Reverse adjacency must agree.
+					preds := g.Predecessors(w, lid)
+					found := false
+					for _, p := range preds {
+						if p == v {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text edge-list format used by the cmd/ tools and examples:
+//
+//	# comment
+//	%vertices 8192
+//	0 a 17
+//	17 b 42
+//
+// One edge per line as "src label dst". The %vertices directive sizes the
+// VID space; without it the space is 1 + the largest VID seen.
+
+// Write serialises g in the text edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(e Edge) bool {
+		_, werr = fmt.Fprintf(bw, "%d %s %d\n", e.Src, g.dict.Name(e.Label), e.Dst)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Read parses the text edge-list format into a Graph.
+func Read(r io.Reader) (*Graph, error) {
+	type rawEdge struct {
+		src, dst VID
+		label    string
+	}
+	var (
+		edges       []rawEdge
+		numVertices = -1
+		maxVID      = VID(-1)
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "%vertices"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad %%vertices directive %q", lineno, line)
+			}
+			numVertices = n
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want \"src label dst\", got %q", lineno, line)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src %q: %v", lineno, fields[0], err)
+		}
+		dst, err := strconv.ParseInt(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst %q: %v", lineno, fields[2], err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineno)
+		}
+		e := rawEdge{src: VID(src), dst: VID(dst), label: fields[1]}
+		edges = append(edges, e)
+		if e.src > maxVID {
+			maxVID = e.src
+		}
+		if e.dst > maxVID {
+			maxVID = e.dst
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if numVertices < 0 {
+		numVertices = int(maxVID) + 1
+	} else if int(maxVID) >= numVertices {
+		return nil, fmt.Errorf("graph: vertex id %d exceeds declared %%vertices %d", maxVID, numVertices)
+	}
+	b := NewBuilder(numVertices)
+	for _, e := range edges {
+		if err := b.AddEdge(e.src, e.label, e.dst); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

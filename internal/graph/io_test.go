@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// failingReader injects an I/O error after a few bytes.
+type failingReader struct {
+	data []byte
+	errs error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.errs
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// failingWriter injects an error after a byte budget.
+type failingWriter struct {
+	budget int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > f.budget {
+		n := f.budget
+		f.budget = 0
+		return n, errors.New("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := NewBuilder(6)
+	b.MustAddEdge(0, "knows", 1)
+	b.MustAddEdge(1, "knows", 2)
+	b.MustAddEdge(2, "likes", 0)
+	b.MustAddEdge(5, "likes", 5)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: got %v want %v", g2.Stats(), g.Stats())
+	}
+	g.Edges(func(e Edge) bool {
+		name := g.Dict().Name(e.Label)
+		lid, ok := g2.Dict().Lookup(name)
+		if !ok || !g2.HasEdge(e.Src, lid, e.Dst) {
+			t.Errorf("edge %d -%s-> %d lost in round trip", e.Src, name, e.Dst)
+		}
+		return true
+	})
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	in := `# a comment
+
+%vertices 4
+0 a 1
+
+# another
+1 b 2
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("got %v", g.Stats())
+	}
+}
+
+func TestReadInfersVertexCount(t *testing.T) {
+	g, err := Read(strings.NewReader("0 a 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestReadIOFailure(t *testing.T) {
+	r := &failingReader{data: []byte("0 a 1\n1 a 2\n"), errs: errors.New("connection reset")}
+	if _, err := Read(r); err == nil {
+		t.Fatal("want propagated I/O error")
+	}
+}
+
+func TestReadEOFOnly(t *testing.T) {
+	r := &failingReader{errs: io.EOF}
+	g, err := Read(r)
+	if err != nil {
+		t.Fatalf("clean EOF must not error: %v", err)
+	}
+	if g.NumVertices() != 0 {
+		t.Errorf("empty input gave %d vertices", g.NumVertices())
+	}
+}
+
+func TestWriteIOFailure(t *testing.T) {
+	b := NewBuilder(2000)
+	for i := 0; i < 1999; i++ {
+		b.MustAddEdge(VID(i), "x", VID(i+1))
+	}
+	g := b.Build()
+	if err := Write(&failingWriter{budget: 64}, g); err == nil {
+		t.Fatal("want write error")
+	}
+	// A too-small budget must fail even on the header.
+	if err := Write(&failingWriter{budget: 0}, g); err == nil {
+		t.Fatal("want header write error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"too few fields", "0 a\n"},
+		{"too many fields", "0 a 1 2\n"},
+		{"bad src", "x a 1\n"},
+		{"bad dst", "0 a y\n"},
+		{"negative id", "-1 a 0\n"},
+		{"bad directive", "%vertices nope\n"},
+		{"vid exceeds declared", "%vertices 2\n0 a 5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}

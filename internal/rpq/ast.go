@@ -1,0 +1,266 @@
+// Package rpq defines the regular path query language of the paper
+// (Section II-B): the expression AST, a parser, the disjunctive-normal-form
+// conversion that treats outermost Kleene closures as literals
+// (Algorithm 1 line 2), and the batch-unit decomposition
+// DecomposeCL → (Pre, R, Type, Post) (Algorithm 1 line 4).
+package rpq
+
+import (
+	"sort"
+	"strings"
+)
+
+// Expr is a regular path query expression over edge labels.
+//
+// The concrete types are Label, Epsilon, Concat, Alt, Plus, Star and Opt.
+// Expressions are immutable after construction.
+type Expr interface {
+	// String renders the expression in the parseable concrete syntax,
+	// with '.' for concatenation and parentheses only where precedence
+	// requires them.
+	String() string
+	// precedence for printing: 0 = alternation, 1 = concatenation,
+	// 2 = unary/atom.
+	precedence() int
+}
+
+// Label matches a single edge carrying the named label. With Inverse
+// set it matches the edge traversed backwards (dst to src) — the ^label
+// inverse-path operator of SPARQL 1.1 property paths. Inverse labels are
+// an extension beyond the paper's data model, turning RPQs into 2RPQs;
+// they compose with every other operator, including graph reduction.
+type Label struct {
+	Name    string
+	Inverse bool
+}
+
+// Epsilon matches the empty path (a zero-length path at any vertex).
+type Epsilon struct{}
+
+// Concat matches the concatenation of its parts, in order. Construct with
+// NewConcat, which flattens nested concatenations and drops ε parts.
+type Concat struct{ Parts []Expr }
+
+// Alt matches any one of its alternatives. Construct with NewAlt, which
+// flattens nested alternations.
+type Alt struct{ Alts []Expr }
+
+// Plus is the Kleene plus R+ (one or more repetitions of Sub).
+type Plus struct{ Sub Expr }
+
+// Star is the Kleene star R* (zero or more repetitions of Sub).
+type Star struct{ Sub Expr }
+
+// Opt is the optional R? ≡ (R|ε).
+type Opt struct{ Sub Expr }
+
+func (Label) precedence() int   { return 2 }
+func (Epsilon) precedence() int { return 2 }
+func (Concat) precedence() int  { return 1 }
+func (Alt) precedence() int     { return 0 }
+func (Plus) precedence() int    { return 2 }
+func (Star) precedence() int    { return 2 }
+func (Opt) precedence() int     { return 2 }
+
+func (l Label) String() string {
+	if l.Inverse {
+		return "^" + l.Name
+	}
+	return l.Name
+}
+
+func (Epsilon) String() string { return "ε" }
+
+func (c Concat) String() string {
+	if len(c.Parts) == 0 {
+		return "ε"
+	}
+	var sb strings.Builder
+	for i, p := range c.Parts {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		writeChild(&sb, p, 1)
+	}
+	return sb.String()
+}
+
+func (a Alt) String() string {
+	if len(a.Alts) == 0 {
+		return "∅"
+	}
+	var sb strings.Builder
+	for i, alt := range a.Alts {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		writeChild(&sb, alt, 0)
+	}
+	return sb.String()
+}
+
+func (p Plus) String() string { return unaryString(p.Sub, "+") }
+func (s Star) String() string { return unaryString(s.Sub, "*") }
+func (o Opt) String() string  { return unaryString(o.Sub, "?") }
+
+func unaryString(sub Expr, op string) string {
+	var sb strings.Builder
+	writeChild(&sb, sub, 2)
+	sb.WriteString(op)
+	return sb.String()
+}
+
+// writeChild renders child, parenthesising when its precedence is lower
+// than the context requires. Unary-on-unary (a++) also needs parens to
+// round-trip unambiguously, but our unary ops are left-postfix so a+* is
+// fine; only lower precedence needs wrapping.
+func writeChild(sb *strings.Builder, child Expr, minPrec int) {
+	if child.precedence() < minPrec {
+		sb.WriteByte('(')
+		sb.WriteString(child.String())
+		sb.WriteByte(')')
+		return
+	}
+	sb.WriteString(child.String())
+}
+
+// NewConcat builds a concatenation, flattening nested Concats and
+// dropping ε parts. An empty result collapses to ε; a single part is
+// returned unwrapped.
+func NewConcat(parts ...Expr) Expr {
+	flat := make([]Expr, 0, len(parts))
+	for _, p := range parts {
+		switch p := p.(type) {
+		case Concat:
+			flat = append(flat, p.Parts...)
+		case Epsilon:
+			// ε is the identity of concatenation.
+		default:
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Epsilon{}
+	case 1:
+		return flat[0]
+	}
+	return Concat{Parts: flat}
+}
+
+// NewAlt builds an alternation, flattening nested Alts. A single
+// alternative is returned unwrapped. NewAlt panics on zero alternatives:
+// the empty language has no syntax in this query language.
+func NewAlt(alts ...Expr) Expr {
+	flat := make([]Expr, 0, len(alts))
+	for _, a := range alts {
+		switch a := a.(type) {
+		case Alt:
+			flat = append(flat, a.Alts...)
+		default:
+			flat = append(flat, a)
+		}
+	}
+	if len(flat) == 0 {
+		panic("rpq: alternation of zero alternatives")
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Alt{Alts: flat}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool { return a.String() == b.String() }
+
+// HasKleene reports whether the expression contains a Kleene closure
+// (Plus or Star) anywhere.
+func HasKleene(e Expr) bool {
+	switch e := e.(type) {
+	case Label, Epsilon:
+		return false
+	case Plus, Star:
+		return true
+	case Opt:
+		return HasKleene(e.Sub)
+	case Concat:
+		for _, p := range e.Parts {
+			if HasKleene(p) {
+				return true
+			}
+		}
+		return false
+	case Alt:
+		for _, a := range e.Alts {
+			if HasKleene(a) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("rpq: unknown expression type")
+}
+
+// Labels returns the sorted set of distinct label names used in e.
+func Labels(e Expr) []string {
+	set := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case Label:
+			set[e.Name] = true
+		case Epsilon:
+		case Plus:
+			walk(e.Sub)
+		case Star:
+			walk(e.Sub)
+		case Opt:
+			walk(e.Sub)
+		case Concat:
+			for _, p := range e.Parts {
+				walk(p)
+			}
+		case Alt:
+			for _, a := range e.Alts {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchesEmpty reports whether the language of e contains the empty word,
+// i.e. whether a zero-length path satisfies e.
+func MatchesEmpty(e Expr) bool {
+	switch e := e.(type) {
+	case Label:
+		return false
+	case Epsilon:
+		return true
+	case Plus:
+		return MatchesEmpty(e.Sub)
+	case Star, Opt:
+		return true
+	case Concat:
+		for _, p := range e.Parts {
+			if !MatchesEmpty(p) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, a := range e.Alts {
+			if MatchesEmpty(a) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("rpq: unknown expression type")
+}

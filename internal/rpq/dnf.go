@@ -1,0 +1,190 @@
+package rpq
+
+import "fmt"
+
+// DefaultMaxClauses bounds the size of a DNF conversion. Distributing
+// concatenation over alternation is worst-case exponential; queries that
+// explode past this bound are rejected rather than silently melting the
+// process.
+const DefaultMaxClauses = 4096
+
+// ToDNF converts e to a logically equivalent disjunctive normal form,
+// treating each outermost Kleene closure as a literal (Algorithm 1,
+// line 2). The result is a list of clauses; each clause is a
+// concatenation whose parts are only Label, Plus or Star (or the clause
+// is ε itself). Optional sub-expressions R? are expanded to (R|ε).
+//
+// The disjunction of the returned clauses denotes the same language as e.
+func ToDNF(e Expr) ([]Expr, error) {
+	return ToDNFLimit(e, DefaultMaxClauses)
+}
+
+// ToDNFLimit is ToDNF with an explicit clause bound.
+func ToDNFLimit(e Expr, maxClauses int) ([]Expr, error) {
+	clauses, err := dnf(e, maxClauses)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Expr, len(clauses))
+	for i, c := range clauses {
+		out[i] = NewConcat(c...)
+	}
+	return dedupExprs(out), nil
+}
+
+// dnf returns the clauses of e as literal slices.
+func dnf(e Expr, maxClauses int) ([][]Expr, error) {
+	switch e := e.(type) {
+	case Label:
+		return [][]Expr{{e}}, nil
+	case Epsilon:
+		return [][]Expr{{}}, nil
+	case Plus, Star:
+		// Outermost Kleene closures are literals.
+		return [][]Expr{{e}}, nil
+	case Opt:
+		// R? ≡ R | ε.
+		sub, err := dnf(e.Sub, maxClauses)
+		if err != nil {
+			return nil, err
+		}
+		return appendBounded(sub, []Expr{}, maxClauses)
+	case Alt:
+		var all [][]Expr
+		for _, a := range e.Alts {
+			sub, err := dnf(a, maxClauses)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range sub {
+				var err error
+				all, err = appendBounded(all, c, maxClauses)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return all, nil
+	case Concat:
+		// Cross product of the parts' clause sets.
+		acc := [][]Expr{{}}
+		for _, p := range e.Parts {
+			sub, err := dnf(p, maxClauses)
+			if err != nil {
+				return nil, err
+			}
+			if len(acc)*len(sub) > maxClauses {
+				return nil, fmt.Errorf("rpq: DNF of %q exceeds %d clauses", e, maxClauses)
+			}
+			next := make([][]Expr, 0, len(acc)*len(sub))
+			for _, left := range acc {
+				for _, right := range sub {
+					clause := make([]Expr, 0, len(left)+len(right))
+					clause = append(clause, left...)
+					clause = append(clause, right...)
+					next = append(next, clause)
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	}
+	panic("rpq: unknown expression type")
+}
+
+func appendBounded(cs [][]Expr, c []Expr, maxClauses int) ([][]Expr, error) {
+	if len(cs)+1 > maxClauses {
+		return nil, fmt.Errorf("rpq: DNF exceeds %d clauses", maxClauses)
+	}
+	return append(cs, c), nil
+}
+
+func dedupExprs(es []Expr) []Expr {
+	seen := make(map[string]bool, len(es))
+	out := es[:0]
+	for _, e := range es {
+		k := e.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ClosureType classifies the rightmost Kleene closure of a batch-unit
+// clause (Algorithm 1 line 4: Type is +, * or NULL).
+type ClosureType int
+
+const (
+	// ClosureNone means the clause has no Kleene closure.
+	ClosureNone ClosureType = iota
+	// ClosurePlus means the rightmost closure is R+.
+	ClosurePlus
+	// ClosureStar means the rightmost closure is R*.
+	ClosureStar
+)
+
+func (t ClosureType) String() string {
+	switch t {
+	case ClosureNone:
+		return "NULL"
+	case ClosurePlus:
+		return "+"
+	case ClosureStar:
+		return "*"
+	}
+	return fmt.Sprintf("ClosureType(%d)", int(t))
+}
+
+// BatchUnit is a decomposed DNF clause in the form Pre·R{+,*}·Post
+// (Section IV-A). When Type is ClosureNone, Pre and R are ε and Post is
+// the entire clause; otherwise R{Type} is the rightmost outermost Kleene
+// closure of the clause and Post contains no Kleene closure.
+type BatchUnit struct {
+	Pre  Expr
+	R    Expr
+	Type ClosureType
+	Post Expr
+}
+
+// Decompose implements DecomposeCL (Algorithm 1 line 4) on a DNF clause.
+// The clause must be a concatenation of literals as produced by ToDNF;
+// Decompose panics on alternations or optionals, which cannot occur in a
+// DNF clause.
+func Decompose(clause Expr) BatchUnit {
+	var parts []Expr
+	switch c := clause.(type) {
+	case Concat:
+		parts = c.Parts
+	default:
+		parts = []Expr{clause}
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		switch lit := parts[i].(type) {
+		case Plus:
+			return BatchUnit{
+				Pre:  NewConcat(parts[:i]...),
+				R:    lit.Sub,
+				Type: ClosurePlus,
+				Post: NewConcat(parts[i+1:]...),
+			}
+		case Star:
+			return BatchUnit{
+				Pre:  NewConcat(parts[:i]...),
+				R:    lit.Sub,
+				Type: ClosureStar,
+				Post: NewConcat(parts[i+1:]...),
+			}
+		case Label, Epsilon:
+			// keep scanning left
+		default:
+			panic(fmt.Sprintf("rpq: Decompose on non-DNF clause %q (part %q)", clause, parts[i]))
+		}
+	}
+	return BatchUnit{Pre: Epsilon{}, R: Epsilon{}, Type: ClosureNone, Post: clause}
+}
+
+func (b BatchUnit) String() string {
+	return fmt.Sprintf("Pre=%s R=%s Type=%s Post=%s", b.Pre, b.R, b.Type, b.Post)
+}

@@ -1,0 +1,202 @@
+package rpq
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func dnfStrings(t *testing.T, in string) []string {
+	t.Helper()
+	clauses, err := ToDNF(MustParse(in))
+	if err != nil {
+		t.Fatalf("ToDNF(%q): %v", in, err)
+	}
+	out := make([]string, len(clauses))
+	for i, c := range clauses {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestToDNFBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a", []string{"a"}},
+		{"a|b", []string{"a", "b"}},
+		{"(a|b).c", []string{"a.c", "b.c"}},
+		{"c.(a|b)", []string{"c.a", "c.b"}},
+		{"(a|b).(c|d)", []string{"a.c", "a.d", "b.c", "b.d"}},
+		// Outermost Kleene closures are literals: the inner alternation
+		// must NOT be distributed.
+		{"(a|b)+", []string{"(a|b)+"}},
+		{"(a|b)*.c", []string{"(a|b)*.c"}},
+		{"a?", []string{"a", "ε"}},
+		{"a?.b", []string{"a.b", "b"}},
+		{"ε", []string{"ε"}},
+		{"a|a", []string{"a"}}, // duplicate clauses collapse
+		{"d.(b.c)+.c", []string{"d.(b.c)+.c"}},
+		{"(a.b)*.b+.(a.b+.c)+", []string{"(a.b)*.b+.(a.b+.c)+"}},
+		{"(a|b.c)?", []string{"a", "b.c", "ε"}},
+	}
+	for _, tc := range cases {
+		got := dnfStrings(t, tc.in)
+		if strings.Join(got, " ; ") != strings.Join(tc.want, " ; ") {
+			t.Errorf("ToDNF(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestToDNFClauseLimit(t *testing.T) {
+	// (a|b)^n explodes to 2^n clauses.
+	e := MustParse("(a|b).(a|b).(a|b).(a|b)")
+	if _, err := ToDNFLimit(e, 8); err == nil {
+		t.Fatal("want clause-limit error, got nil")
+	}
+	if clauses, err := ToDNFLimit(e, 16); err != nil || len(clauses) != 16 {
+		t.Fatalf("got %d clauses, err=%v; want 16, nil", len(clauses), err)
+	}
+}
+
+// Property: the disjunction of DNF clauses has the same language as the
+// original expression, on sampled random words.
+func TestDNFPreservesLanguage(t *testing.T) {
+	labels := []string{"a", "b"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := RandomExpr(rng, labels, 3)
+		clauses, err := ToDNF(e)
+		if err != nil {
+			return true // blow-up guarded; nothing to check
+		}
+		for i := 0; i < 25; i++ {
+			w := RandomWord(rng, labels, 6)
+			inClause := false
+			for _, c := range clauses {
+				if Match(c, w) {
+					inClause = true
+					break
+				}
+			}
+			if inClause != Match(e, w) {
+				t.Logf("expr=%q word=%v clauses=%v", e, w, clauses)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every DNF clause is a concatenation of Label/Plus/Star
+// literals (or ε), i.e. valid input for Decompose.
+func TestDNFClausesAreLiteralConcats(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := RandomExpr(rng, labels, 3)
+		clauses, err := ToDNF(e)
+		if err != nil {
+			return true
+		}
+		for _, c := range clauses {
+			var parts []Expr
+			if cc, ok := c.(Concat); ok {
+				parts = cc.Parts
+			} else {
+				parts = []Expr{c}
+			}
+			for _, p := range parts {
+				switch p.(type) {
+				case Label, Plus, Star, Epsilon:
+				default:
+					t.Logf("expr=%q clause=%q bad part %T", e, c, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposePaperExamples(t *testing.T) {
+	// The three worked decompositions of Example 7 / Fig. 7.
+	cases := []struct {
+		clause string
+		pre    string
+		r      string
+		typ    ClosureType
+		post   string
+	}{
+		{"a", "ε", "ε", ClosureNone, "a"},
+		{"a.(a.b)+.b", "a", "a.b", ClosurePlus, "b"},
+		{"(a.b)*.b+.(a.b+.c)+", "(a.b)*.b+", "a.b+.c", ClosurePlus, "ε"},
+		// And the recursive step inside the third example:
+		{"(a.b)*.b+", "(a.b)*", "b", ClosurePlus, "ε"},
+		{"(a.b)*", "ε", "a.b", ClosureStar, "ε"},
+		// Post must be closure-free; the rightmost closure wins.
+		{"a+.b.c", "ε", "a", ClosurePlus, "b.c"},
+		{"a+.b+.c", "a+", "b", ClosurePlus, "c"},
+	}
+	for _, tc := range cases {
+		bu := Decompose(MustParse(tc.clause))
+		if bu.Pre.String() != tc.pre || bu.R.String() != tc.r ||
+			bu.Type != tc.typ || bu.Post.String() != tc.post {
+			t.Errorf("Decompose(%q) = %v; want Pre=%s R=%s Type=%s Post=%s",
+				tc.clause, bu, tc.pre, tc.r, tc.typ, tc.post)
+		}
+	}
+}
+
+func TestDecomposePostHasNoKleene(t *testing.T) {
+	labels := []string{"a", "b"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := RandomExpr(rng, labels, 3)
+		clauses, err := ToDNF(e)
+		if err != nil {
+			return true
+		}
+		for _, c := range clauses {
+			bu := Decompose(c)
+			if HasKleene(bu.Post) {
+				return false
+			}
+			if bu.Type == ClosureNone && (bu.Pre.String() != "ε" || bu.R.String() != "ε") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposePanicsOnNonDNF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Decompose on alternation did not panic")
+		}
+	}()
+	Decompose(MustParse("a.(b|c)"))
+}
+
+func TestClosureTypeString(t *testing.T) {
+	if ClosureNone.String() != "NULL" || ClosurePlus.String() != "+" || ClosureStar.String() != "*" {
+		t.Error("ClosureType strings wrong")
+	}
+	if ClosureType(9).String() == "" {
+		t.Error("unknown ClosureType should still format")
+	}
+}

@@ -1,0 +1,74 @@
+package rpq
+
+// Match reports whether the word (a sequence of label names, i.e. a path
+// label in the paper's terms) is in the language of e.
+//
+// This is a straightforward recursive matcher used as the reference
+// semantics in property tests: the NFA, DFA and DNF implementations are
+// all checked against it. It is exponential in the worst case and meant
+// for short words only.
+func Match(e Expr, word []string) bool {
+	return matchRange(e, word, 0, len(word))
+}
+
+func matchRange(e Expr, w []string, i, j int) bool {
+	switch e := e.(type) {
+	case Label:
+		// Inverse labels render as "^name"; a word token spells the
+		// symbol exactly, so direction is part of the token.
+		return j == i+1 && w[i] == e.String()
+	case Epsilon:
+		return i == j
+	case Opt:
+		return i == j || matchRange(e.Sub, w, i, j)
+	case Alt:
+		for _, a := range e.Alts {
+			if matchRange(a, w, i, j) {
+				return true
+			}
+		}
+		return false
+	case Concat:
+		return matchParts(e.Parts, w, i, j)
+	case Star:
+		if i == j {
+			return true
+		}
+		return matchRepeat(e.Sub, w, i, j)
+	case Plus:
+		if i == j {
+			return MatchesEmpty(e.Sub)
+		}
+		return matchRepeat(e.Sub, w, i, j)
+	}
+	panic("rpq: unknown expression type")
+}
+
+// matchRepeat reports whether w[i:j] (non-empty) splits into one or more
+// non-empty chunks each matching sub. Empty chunks are skipped: they
+// cannot extend the split and would recurse forever.
+func matchRepeat(sub Expr, w []string, i, j int) bool {
+	for k := i + 1; k <= j; k++ {
+		if matchRange(sub, w, i, k) {
+			if k == j || matchRepeat(sub, w, k, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func matchParts(parts []Expr, w []string, i, j int) bool {
+	if len(parts) == 0 {
+		return i == j
+	}
+	if len(parts) == 1 {
+		return matchRange(parts[0], w, i, j)
+	}
+	for k := i; k <= j; k++ {
+		if matchRange(parts[0], w, i, k) && matchParts(parts[1:], w, k, j) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package rpq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses the concrete RPQ syntax into an Expr.
+//
+// Grammar (lowest precedence first):
+//
+//	expr   := concat ('|' concat)*
+//	concat := unary (('.' | '/' | '·') unary)*
+//	unary  := atom ('+' | '*' | '?')*
+//	atom   := label | '^' label | 'ε' | '(' expr ')'
+//	label  := [letters digits _ : -]+  (must not start with '-')
+//
+// '^label' is the inverse-path operator (SPARQL 1.1): it matches an edge
+// with that label traversed backwards.
+//
+// Whitespace between tokens is ignored. '·' is accepted as a
+// concatenation operator so queries can be written exactly as the paper
+// prints them, e.g. "d·(b·c)+·c".
+func Parse(input string) (Expr, error) {
+	p := &parser{input: input}
+	p.next()
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s", p.tok)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static queries.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLabel
+	tokEpsilon
+	tokLParen
+	tokRParen
+	tokAlt    // |
+	tokConcat // . / ·
+	tokPlus   // +
+	tokStar   // *
+	tokOpt    // ?
+	tokCaret  // ^
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLabel:
+		return fmt.Sprintf("label %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("rpq: parse %q at offset %d: %s", p.input, p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == ':' || r == '-'
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.input) {
+		r, size := utf8.DecodeRuneInString(p.input[p.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		p.pos += size
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	r, size := utf8.DecodeRuneInString(p.input[p.pos:])
+	switch r {
+	case '(':
+		p.pos += size
+		p.tok = token{tokLParen, "(", start}
+		return
+	case ')':
+		p.pos += size
+		p.tok = token{tokRParen, ")", start}
+		return
+	case '|':
+		p.pos += size
+		p.tok = token{tokAlt, "|", start}
+		return
+	case '.', '/', '·':
+		p.pos += size
+		p.tok = token{tokConcat, string(r), start}
+		return
+	case '+':
+		p.pos += size
+		p.tok = token{tokPlus, "+", start}
+		return
+	case '*':
+		p.pos += size
+		p.tok = token{tokStar, "*", start}
+		return
+	case '?':
+		p.pos += size
+		p.tok = token{tokOpt, "?", start}
+		return
+	case '^':
+		p.pos += size
+		p.tok = token{tokCaret, "^", start}
+		return
+	case 'ε':
+		p.pos += size
+		p.tok = token{tokEpsilon, "ε", start}
+		return
+	}
+	if isLabelRune(r) && r != '-' { // labels must not start with '-'
+		end := p.pos
+		for end < len(p.input) {
+			r, size := utf8.DecodeRuneInString(p.input[end:])
+			if !isLabelRune(r) {
+				break
+			}
+			end += size
+		}
+		p.tok = token{tokLabel, p.input[p.pos:end], start}
+		p.pos = end
+		return
+	}
+	p.tok = token{kind: tokEOF, text: string(r), pos: start}
+	// Mark as invalid by storing the offending rune; parseAtom reports it.
+	p.tok.kind = -1
+}
+
+func (p *parser) parseAlt() (Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Expr{first}
+	for p.tok.kind == tokAlt {
+		p.next()
+		e, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, e)
+	}
+	return NewAlt(alts...), nil
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.tok.kind == tokConcat {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	return NewConcat(parts...), nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokPlus:
+			e = Plus{Sub: e}
+		case tokStar:
+			e = Star{Sub: e}
+		case tokOpt:
+			e = Opt{Sub: e}
+		default:
+			return e, nil
+		}
+		if err := checkClosureOperand(e); err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		p.next()
+	}
+}
+
+func checkClosureOperand(e Expr) error {
+	var sub Expr
+	switch e := e.(type) {
+	case Plus:
+		sub = e.Sub
+	case Star:
+		sub = e.Sub
+	default:
+		return nil
+	}
+	if _, ok := sub.(Epsilon); ok {
+		return fmt.Errorf("Kleene closure of ε is not a valid query")
+	}
+	return nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokLabel:
+		e := Label{Name: p.tok.text}
+		p.next()
+		return e, nil
+	case tokCaret:
+		p.next()
+		if p.tok.kind != tokLabel {
+			return nil, p.errorf("'^' must be followed by a label, got %s", p.tok)
+		}
+		e := Label{Name: p.tok.text, Inverse: true}
+		p.next()
+		return e, nil
+	case tokEpsilon:
+		p.next()
+		return Epsilon{}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("missing ')', got %s", p.tok)
+		}
+		p.next()
+		return e, nil
+	case -1:
+		return nil, p.errorf("invalid character %q", p.tok.text)
+	default:
+		return nil, p.errorf("expected label, 'ε' or '(', got %s", p.tok)
+	}
+}
+
+// FormatPaper renders e with the paper's '·' concatenation operator.
+func FormatPaper(e Expr) string {
+	return strings.ReplaceAll(e.String(), ".", "·")
+}

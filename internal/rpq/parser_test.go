@@ -1,0 +1,220 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"a", "a"},
+		{"a.b", "a.b"},
+		{"a/b", "a.b"},
+		{"a·b", "a.b"},
+		{"a|b", "a|b"},
+		{"a.b|c", "a.b|c"},
+		{"(a|b).c", "(a|b).c"},
+		{"a+", "a+"},
+		{"a*", "a*"},
+		{"a?", "a?"},
+		{"(a.b)+", "(a.b)+"},
+		{"(a.b)*.b+", "(a.b)*.b+"},
+		{"d.(b.c)+.c", "d.(b.c)+.c"},
+		{"d·(b·c)+·c", "d.(b.c)+.c"}, // the paper's own rendering
+		{"(a.b)*.b+.(a.b+.c)+", "(a.b)*.b+.(a.b+.c)+"},
+		{"a+*", "a+*"},
+		{"ε", "ε"},
+		{"a.ε", "a"},
+		{"ε.a", "a"},
+		{"ε|a", "ε|a"},
+		{" a . b ", "a.b"},
+		{"knows.friend_of+", "knows.friend_of+"},
+		{"rdf:type.subClassOf*", "rdf:type.subClassOf*"},
+		{"((a))", "a"},
+		{"^a", "^a"},
+		{"^a.b", "^a.b"},
+		{"(a.^b)+", "(a.^b)+"},
+		{"^a|^b", "^a|^b"},
+		{"^a+", "^a+"},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "(", ")", "a|", "|a", "a..b", "a.(", "(a", "a)", "+", "a;b",
+		"ε+", "ε*", "(ε)+", "a.+",
+		"^", "^^a", "^(a.b)", "^ε", "a.^",
+	}
+	for _, in := range cases {
+		if e, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, e)
+		}
+	}
+}
+
+func TestOptOfEpsilonAllowed(t *testing.T) {
+	// ε? is pointless but harmless, unlike ε+ / ε* which the paper's
+	// algorithms would treat as a closure over an empty reduction.
+	if _, err := Parse("ε?"); err != nil {
+		t.Fatalf("Parse(ε?) = %v, want success", err)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// a|b.c+ parses as a | (b.(c+))
+	e := MustParse("a|b.c+")
+	alt, ok := e.(Alt)
+	if !ok || len(alt.Alts) != 2 {
+		t.Fatalf("want 2-way Alt, got %T %v", e, e)
+	}
+	if _, ok := alt.Alts[0].(Label); !ok {
+		t.Errorf("first alt = %v, want label a", alt.Alts[0])
+	}
+	cc, ok := alt.Alts[1].(Concat)
+	if !ok || len(cc.Parts) != 2 {
+		t.Fatalf("second alt = %v, want 2-part concat", alt.Alts[1])
+	}
+	if _, ok := cc.Parts[1].(Plus); !ok {
+		t.Errorf("want c+ as last part, got %v", cc.Parts[1])
+	}
+}
+
+func TestUnaryStacking(t *testing.T) {
+	e := MustParse("a+*")
+	st, ok := e.(Star)
+	if !ok {
+		t.Fatalf("a+* = %T, want Star", e)
+	}
+	if _, ok := st.Sub.(Plus); !ok {
+		t.Fatalf("a+* sub = %T, want Plus", st.Sub)
+	}
+}
+
+// Property: String() output re-parses to a structurally identical
+// expression (round trip), including inverse labels.
+func TestStringRoundTrip(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := RandomExpr2RPQ(rng, labels, 3)
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", e, err)
+			return false
+		}
+		return Equal(e, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-tripped expressions match exactly the same words.
+func TestRoundTripPreservesLanguage(t *testing.T) {
+	labels := []string{"a", "b"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := RandomExpr(rng, labels, 2)
+		back, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			w := RandomWord(rng, labels, 5)
+			if Match(e, w) != Match(back, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatPaper(t *testing.T) {
+	if got := FormatPaper(MustParse("d.(b.c)+.c")); got != "d·(b·c)+·c" {
+		t.Errorf("FormatPaper = %q", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	e := MustParse("d.(b.c)+.c|a?")
+	want := []string{"a", "b", "c", "d"}
+	got := Labels(e)
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatchesEmpty(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"a", false},
+		{"ε", true},
+		{"a*", true},
+		{"a+", false},
+		{"a?", true},
+		{"a.b", false},
+		{"a*.b*", true},
+		{"a*.b", false},
+		{"a|ε", true},
+		{"(a?)+", true},
+	}
+	for _, tc := range cases {
+		if got := MatchesEmpty(MustParse(tc.in)); got != tc.want {
+			t.Errorf("MatchesEmpty(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMatchReference(t *testing.T) {
+	cases := []struct {
+		expr string
+		word []string
+		want bool
+	}{
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a", nil, false},
+		{"ε", nil, true},
+		{"a.b", []string{"a", "b"}, true},
+		{"a.b", []string{"a"}, false},
+		{"(a.b)+", []string{"a", "b", "a", "b"}, true},
+		{"(a.b)+", []string{"a", "b", "a"}, false},
+		{"(a.b)+", nil, false},
+		{"(a.b)*", nil, true},
+		{"a|b", []string{"b"}, true},
+		{"d.(b.c)+.c", []string{"d", "b", "c", "c"}, true},
+		{"d.(b.c)+.c", []string{"d", "b", "c", "b", "c", "c"}, true},
+		{"d.(b.c)+.c", []string{"d", "c"}, false},
+		{"(a?)+", nil, true},
+		{"(a?)+", []string{"a", "a"}, true},
+	}
+	for _, tc := range cases {
+		if got := Match(MustParse(tc.expr), tc.word); got != tc.want {
+			t.Errorf("Match(%q, %v) = %v, want %v", tc.expr, tc.word, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package rpq
+
+import "math/rand"
+
+// RandomExpr draws a random expression over the given label alphabet with
+// the given maximum nesting depth. It is used by property tests across
+// the repository (parser round-trips, NFA-vs-reference matching, engine
+// equivalence) and by the workload generator's fuzz mode.
+func RandomExpr(rng *rand.Rand, labels []string, depth int) Expr {
+	if len(labels) == 0 {
+		panic("rpq: RandomExpr needs a non-empty alphabet")
+	}
+	if depth <= 0 {
+		return Label{Name: labels[rng.Intn(len(labels))]}
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return Label{Name: labels[rng.Intn(len(labels))]}
+	case 3, 4:
+		n := 2 + rng.Intn(2)
+		parts := make([]Expr, n)
+		for i := range parts {
+			parts[i] = RandomExpr(rng, labels, depth-1)
+		}
+		return NewConcat(parts...)
+	case 5, 6:
+		n := 2 + rng.Intn(2)
+		alts := make([]Expr, n)
+		for i := range alts {
+			alts[i] = RandomExpr(rng, labels, depth-1)
+		}
+		return NewAlt(alts...)
+	case 7:
+		return Plus{Sub: randomNonEpsilon(rng, labels, depth-1)}
+	case 8:
+		return Star{Sub: randomNonEpsilon(rng, labels, depth-1)}
+	default:
+		return Opt{Sub: RandomExpr(rng, labels, depth-1)}
+	}
+}
+
+// RandomExpr2RPQ is RandomExpr extended with inverse labels (^label),
+// for property tests of the 2RPQ extension.
+func RandomExpr2RPQ(rng *rand.Rand, labels []string, depth int) Expr {
+	e := RandomExpr(rng, labels, depth)
+	return invertSomeLabels(rng, e)
+}
+
+func invertSomeLabels(rng *rand.Rand, e Expr) Expr {
+	switch e := e.(type) {
+	case Label:
+		if rng.Intn(3) == 0 {
+			return Label{Name: e.Name, Inverse: !e.Inverse}
+		}
+		return e
+	case Epsilon:
+		return e
+	case Plus:
+		return Plus{Sub: invertSomeLabels(rng, e.Sub)}
+	case Star:
+		return Star{Sub: invertSomeLabels(rng, e.Sub)}
+	case Opt:
+		return Opt{Sub: invertSomeLabels(rng, e.Sub)}
+	case Concat:
+		parts := make([]Expr, len(e.Parts))
+		for i, p := range e.Parts {
+			parts[i] = invertSomeLabels(rng, p)
+		}
+		return NewConcat(parts...)
+	case Alt:
+		alts := make([]Expr, len(e.Alts))
+		for i, a := range e.Alts {
+			alts[i] = invertSomeLabels(rng, a)
+		}
+		return NewAlt(alts...)
+	}
+	panic("rpq: unknown expression type")
+}
+
+// randomNonEpsilon avoids ε directly under a Kleene closure, which the
+// parser rejects as a degenerate query.
+func randomNonEpsilon(rng *rand.Rand, labels []string, depth int) Expr {
+	for {
+		e := RandomExpr(rng, labels, depth)
+		if _, ok := e.(Epsilon); !ok {
+			return e
+		}
+	}
+}
+
+// RandomWord draws a random word over the alphabet with length in [0, maxLen].
+func RandomWord(rng *rand.Rand, labels []string, maxLen int) []string {
+	n := rng.Intn(maxLen + 1)
+	w := make([]string, n)
+	for i := range w {
+		w[i] = labels[rng.Intn(len(labels))]
+	}
+	return w
+}

@@ -1,0 +1,246 @@
+// Package tc computes transitive closures of unlabeled digraphs.
+//
+// Three algorithms are provided:
+//
+//   - BFS: a per-vertex breadth-first search, O(|V|·|E|). This is the
+//     closure computation the paper assigns to both methods in Table III
+//     (FullSharing runs it on G_R, RTCSharing on the much smaller Ḡ_R).
+//   - Purdom: Purdom's SCC-based algorithm [12] — components, topological
+//     order, then successor-set union over the condensation.
+//   - Nuutila: Nuutila's improvement [13] — successor sets are built
+//     during Tarjan's traversal, exploiting the reverse topological
+//     emission order, with no separate condensation pass.
+//
+// All three produce identical Closures; properties in tc_test.go enforce
+// it. The closure follows the paper's semantics: (u, w) ∈ TC iff a path
+// of length ≥ 1 leads from u to w, so (u, u) requires a cycle through u.
+package tc
+
+import (
+	"math/bits"
+	"sort"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/scc"
+)
+
+// Closure is the transitive closure of a digraph: for each vertex, the
+// sorted set of vertices reachable by a path of length ≥ 1.
+type Closure struct {
+	numVertices int
+	succ        [][]graph.VID
+	numPairs    int
+}
+
+// NumVertices returns the size of the underlying VID space.
+func (c *Closure) NumVertices() int { return c.numVertices }
+
+// NumPairs returns the number of (u, w) pairs in the closure — the
+// paper's "shared data size" metric for FullSharing (Fig. 12).
+func (c *Closure) NumPairs() int { return c.numPairs }
+
+// From returns the vertices reachable from u, sorted ascending. The
+// caller must not modify the returned slice.
+func (c *Closure) From(u graph.VID) []graph.VID { return c.succ[u] }
+
+// Reachable reports whether a path of length ≥ 1 leads from u to w.
+func (c *Closure) Reachable(u, w graph.VID) bool {
+	s := c.succ[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= w })
+	return i < len(s) && s[i] == w
+}
+
+// Each calls fn for every closure pair in (src, dst) order, stopping
+// early if fn returns false.
+func (c *Closure) Each(fn func(u, w graph.VID) bool) {
+	for u := range c.succ {
+		for _, w := range c.succ[u] {
+			if !fn(graph.VID(u), w) {
+				return
+			}
+		}
+	}
+}
+
+// ToPairs materialises the closure as a pair set.
+func (c *Closure) ToPairs() *pairs.Set {
+	out := pairs.NewSetCap(c.numPairs)
+	c.Each(func(u, w graph.VID) bool {
+		out.Add(u, w)
+		return true
+	})
+	return out
+}
+
+// Equal reports whether two closures contain the same pairs.
+func (c *Closure) Equal(other *Closure) bool {
+	if c.numVertices != other.numVertices || c.numPairs != other.numPairs {
+		return false
+	}
+	for u := range c.succ {
+		a, b := c.succ[u], other.succ[u]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BFS computes the closure by a breadth-first search from every active
+// vertex: O(|V|·|E|) time, the complexity the paper quotes in Table III.
+func BFS(d *graph.DiGraph) *Closure {
+	n := d.NumVertices()
+	c := &Closure{numVertices: n, succ: make([][]graph.VID, n)}
+	visited := make([]uint32, n)
+	gen := uint32(0)
+	queue := make([]graph.VID, 0, 64)
+
+	for _, u := range d.ActiveVertices() {
+		if d.OutDegree(u) == 0 {
+			continue
+		}
+		gen++
+		queue = queue[:0]
+		// Seed with u's successors; u itself is reachable only via a
+		// cycle, so it is not pre-marked.
+		var reach []graph.VID
+		for _, w := range d.Successors(u) {
+			if visited[w] != gen {
+				visited[w] = gen
+				queue = append(queue, w)
+				reach = append(reach, w)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range d.Successors(v) {
+				if visited[w] != gen {
+					visited[w] = gen
+					queue = append(queue, w)
+					reach = append(reach, w)
+				}
+			}
+		}
+		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+		c.succ[u] = reach
+		c.numPairs += len(reach)
+	}
+	return c
+}
+
+// bitset is a fixed-width bitmap over component IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Purdom computes the closure with Purdom's algorithm [12]: find SCCs,
+// condense, walk components in topological order unioning successor
+// sets, then expand component reachability back to vertex pairs
+// (the expansion is Lemma 3's Cartesian product).
+func Purdom(d *graph.DiGraph) *Closure {
+	comps := scc.Tarjan(d)
+	cond := scc.Condense(d, comps)
+	k := comps.NumComponents()
+
+	// Tarjan emits components in reverse topological order, so SIDs
+	// 0..k-1 are already a valid processing order (all successors of a
+	// component have smaller SIDs).
+	reach := make([]bitset, k)
+	for s := int32(0); s < int32(k); s++ {
+		r := newBitset(k)
+		for _, t := range cond.Successors(s) {
+			r.set(t)
+			if t != s {
+				r.or(reach[t])
+			}
+		}
+		reach[s] = r
+	}
+	return expand(d.NumVertices(), comps, reach)
+}
+
+// Nuutila computes the closure with Nuutila's interleaved algorithm [13]:
+// Tarjan's DFS and successor-set construction run in one pass, relying on
+// the fact that when a component is emitted every component it can reach
+// has already been emitted.
+func Nuutila(d *graph.DiGraph) *Closure {
+	comps := scc.Tarjan(d)
+	k := comps.NumComponents()
+	reach := make([]bitset, k)
+
+	// Single pass in emission order (reverse topological): for each
+	// component, fold in the reach sets of the components its member
+	// edges point to. This is the interleaving Nuutila describes, with
+	// the DFS already folded into Tarjan.
+	for s := int32(0); s < int32(k); s++ {
+		r := newBitset(k)
+		for _, u := range comps.Members[s] {
+			for _, w := range d.Successors(u) {
+				t := comps.CompOf[w]
+				r.set(t)
+				if t != s {
+					r.or(reach[t])
+				}
+			}
+		}
+		reach[s] = r
+	}
+	return expand(d.NumVertices(), comps, reach)
+}
+
+// expand converts component-level reachability to the vertex-level
+// closure: u reaches every member of every component in reach[comp(u)]
+// (Lemma 3 / Theorem 1).
+func expand(numVertices int, comps *scc.Components, reach []bitset) *Closure {
+	c := &Closure{numVertices: numVertices, succ: make([][]graph.VID, numVertices)}
+	k := comps.NumComponents()
+
+	// Precompute the expanded successor list per component once; all its
+	// members share it (Lemma 2).
+	expanded := make([][]graph.VID, k)
+	for s := int32(0); s < int32(k); s++ {
+		if reach[s].count() == 0 {
+			continue
+		}
+		var out []graph.VID
+		for t := int32(0); t < int32(k); t++ {
+			if reach[s].get(t) {
+				out = append(out, comps.Members[t]...)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		expanded[s] = out
+	}
+	for _, vs := range comps.Members {
+		for _, u := range vs {
+			s := comps.CompOf[u]
+			c.succ[u] = expanded[s]
+			c.numPairs += len(expanded[s])
+		}
+	}
+	return c
+}

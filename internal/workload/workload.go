@@ -1,0 +1,103 @@
+// Package workload generates the multiple-RPQ query sets of Section V-A:
+// every query is a batch unit Pre·R+·Post (or Pre·R*·Post) where Pre and
+// Post are single labels and R is a concatenation of 1–3 labels; all
+// queries in one set share the same R, so the Kleene closure is the
+// common sub-query whose result the sharing strategies reuse.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+)
+
+// Config parameterises query-set generation.
+type Config struct {
+	// NumSets is how many multiple-RPQ sets to draw. The paper uses 90;
+	// the benchmark defaults are smaller (see EXPERIMENTS.md).
+	NumSets int
+	// MaxRPQs is the largest set size needed; Set.Queries has this many
+	// entries and smaller sets are its prefixes ("a larger multiple RPQ
+	// set contains smaller multiple RPQ sets", Section V-A).
+	MaxRPQs int
+	// RLengths are the lengths of the shared sub-query R, cycled across
+	// sets. The paper draws equal counts of lengths 1, 2 and 3.
+	RLengths []int
+	// Star generates Pre·R*·Post instead of Pre·R+·Post.
+	Star bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's protocol at a given set count.
+func DefaultConfig(numSets int, seed int64) Config {
+	return Config{
+		NumSets:  numSets,
+		MaxRPQs:  10,
+		RLengths: []int{1, 2, 3},
+		Seed:     seed,
+	}
+}
+
+// Set is one multiple-RPQ set sharing the Kleene sub-query R.
+type Set struct {
+	// R is the shared sub-query (a label concatenation).
+	R rpq.Expr
+	// Queries are the batch units Pre·R+·Post; use Queries[:k] for a
+	// k-RPQ set.
+	Queries []rpq.Expr
+}
+
+// Generate draws query sets over the labels of dict.
+func Generate(dict *graph.Dict, cfg Config) ([]Set, error) {
+	labels := dict.Names()
+	return GenerateOver(labels, cfg)
+}
+
+// GenerateOver draws query sets over an explicit label alphabet.
+func GenerateOver(labels []string, cfg Config) ([]Set, error) {
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("workload: empty label alphabet")
+	}
+	if cfg.NumSets <= 0 || cfg.MaxRPQs <= 0 {
+		return nil, fmt.Errorf("workload: NumSets and MaxRPQs must be positive, got %d/%d", cfg.NumSets, cfg.MaxRPQs)
+	}
+	if len(cfg.RLengths) == 0 {
+		return nil, fmt.Errorf("workload: RLengths must not be empty")
+	}
+	for _, l := range cfg.RLengths {
+		if l <= 0 {
+			return nil, fmt.Errorf("workload: R length must be positive, got %d", l)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() rpq.Expr {
+		return rpq.Label{Name: labels[rng.Intn(len(labels))]}
+	}
+
+	sets := make([]Set, cfg.NumSets)
+	for i := range sets {
+		rLen := cfg.RLengths[i%len(cfg.RLengths)]
+		rParts := make([]rpq.Expr, rLen)
+		for j := range rParts {
+			rParts[j] = pick()
+		}
+		r := rpq.NewConcat(rParts...)
+
+		queries := make([]rpq.Expr, cfg.MaxRPQs)
+		for q := range queries {
+			var mid rpq.Expr
+			if cfg.Star {
+				mid = rpq.Star{Sub: r}
+			} else {
+				mid = rpq.Plus{Sub: r}
+			}
+			queries[q] = rpq.NewConcat(pick(), mid, pick())
+		}
+		sets[i] = Set{R: r, Queries: queries}
+	}
+	return sets, nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+)
+
+func TestGenerateShape(t *testing.T) {
+	sets, err := GenerateOver([]string{"a", "b", "c", "d"}, DefaultConfig(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 6 {
+		t.Fatalf("sets = %d, want 6", len(sets))
+	}
+	for i, s := range sets {
+		if len(s.Queries) != 10 {
+			t.Fatalf("set %d: queries = %d, want 10", i, len(s.Queries))
+		}
+		// R length cycles 1,2,3,1,2,3.
+		wantLen := []int{1, 2, 3}[i%3]
+		gotLen := len(strings.Split(s.R.String(), "."))
+		if gotLen != wantLen {
+			t.Errorf("set %d: R=%q length %d, want %d", i, s.R, gotLen, wantLen)
+		}
+		for _, q := range s.Queries {
+			bu := rpq.Decompose(q)
+			if bu.Type != rpq.ClosurePlus {
+				t.Fatalf("set %d: %q is not a Kleene-plus batch unit", i, q)
+			}
+			if !rpq.Equal(bu.R, s.R) {
+				t.Errorf("set %d: query %q does not share R=%q", i, q, s.R)
+			}
+			if _, ok := bu.Pre.(rpq.Label); !ok {
+				t.Errorf("Pre of %q is %T, want single label", q, bu.Pre)
+			}
+			if _, ok := bu.Post.(rpq.Label); !ok {
+				t.Errorf("Post of %q is %T, want single label", q, bu.Post)
+			}
+		}
+	}
+}
+
+func TestGenerateStar(t *testing.T) {
+	cfg := DefaultConfig(2, 9)
+	cfg.Star = true
+	sets, err := GenerateOver([]string{"a", "b"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		for _, q := range s.Queries {
+			if rpq.Decompose(q).Type != rpq.ClosureStar {
+				t.Fatalf("%q is not a Kleene-star batch unit", q)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := GenerateOver([]string{"a", "b", "c"}, DefaultConfig(4, 5))
+	b, _ := GenerateOver([]string{"a", "b", "c"}, DefaultConfig(4, 5))
+	for i := range a {
+		for j := range a[i].Queries {
+			if !rpq.Equal(a[i].Queries[j], b[i].Queries[j]) {
+				t.Fatal("same seed produced different workloads")
+			}
+		}
+	}
+	c, _ := GenerateOver([]string{"a", "b", "c"}, DefaultConfig(4, 6))
+	diff := false
+	for i := range a {
+		for j := range a[i].Queries {
+			if !rpq.Equal(a[i].Queries[j], c[i].Queries[j]) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateFromDict(t *testing.T) {
+	d := graph.NewDictFrom("x", "y")
+	sets, err := Generate(d, DefaultConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		for _, l := range rpq.Labels(s.Queries[0]) {
+			if l != "x" && l != "y" {
+				t.Errorf("label %q outside the dictionary", l)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := GenerateOver(nil, DefaultConfig(1, 0)); err == nil {
+		t.Error("want error for empty alphabet")
+	}
+	if _, err := GenerateOver([]string{"a"}, Config{NumSets: 0, MaxRPQs: 1, RLengths: []int{1}}); err == nil {
+		t.Error("want error for zero sets")
+	}
+	if _, err := GenerateOver([]string{"a"}, Config{NumSets: 1, MaxRPQs: 1, RLengths: nil}); err == nil {
+		t.Error("want error for no lengths")
+	}
+	if _, err := GenerateOver([]string{"a"}, Config{NumSets: 1, MaxRPQs: 1, RLengths: []int{0}}); err == nil {
+		t.Error("want error for zero length")
+	}
+}

@@ -1,0 +1,178 @@
+// Package rtcshare evaluates regular path queries (RPQs) over
+// edge-labeled directed multigraphs, sharing a reduced transitive closure
+// (RTC) across queries.
+//
+// It is a from-scratch Go implementation of
+//
+//	Na, Moon, Yi, Whang, Hyun:
+//	"Regular Path Query Evaluation Sharing a Reduced Transitive Closure
+//	 Based on Graph Reduction", ICDE 2022 (arXiv:2111.06918).
+//
+// An RPQ such as "follows.(mentions.follows)+.likes" returns the ordered
+// vertex pairs connected by a path whose edge-label sequence matches the
+// expression. Kleene closures make RPQs expensive; when several queries
+// share a closure sub-query R+, this library evaluates R once, reduces
+// the resulting graph at the edge level (paths → edges) and the vertex
+// level (strongly connected components → vertices), computes the
+// transitive closure of the small reduced graph, and shares that reduced
+// transitive closure across all queries (the paper's RTCSharing
+// algorithm). The FullSharing and NoSharing baselines from the paper's
+// evaluation are included for comparison.
+//
+// # Quick start
+//
+//	b := rtcshare.NewGraphBuilder(4)
+//	b.MustAddEdge(0, "follows", 1)
+//	b.MustAddEdge(1, "follows", 2)
+//	b.MustAddEdge(2, "follows", 0)
+//	b.MustAddEdge(2, "likes", 3)
+//	g := b.Build()
+//
+//	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+//	res, err := engine.EvaluateQuery("follows+.likes")
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// mapping between the paper and the packages under internal/.
+package rtcshare
+
+import (
+	"io"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/eval"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+)
+
+// VID identifies a vertex: dense integers in [0, NumVertices).
+type VID = graph.VID
+
+// Graph is an immutable edge-labeled directed multigraph (the data model
+// of the paper, Section II-A). Build one with NewGraphBuilder or load one
+// with ReadGraph.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates labeled edges and freezes them into a Graph.
+type GraphBuilder = graph.Builder
+
+// GraphStats summarises a graph (|V|, |E|, |Σ|, degree per label).
+type GraphStats = graph.Stats
+
+// NewGraphBuilder returns a builder for a graph with the given number of
+// vertices.
+func NewGraphBuilder(numVertices int) *GraphBuilder {
+	return graph.NewBuilder(numVertices)
+}
+
+// ReadGraph parses the text edge-list format ("src label dst" lines with
+// an optional "%vertices N" directive).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serialises a graph in the text edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// Expr is a parsed regular path query.
+type Expr = rpq.Expr
+
+// ParseQuery parses the RPQ concrete syntax: labels, '.' (or '·' or '/')
+// for concatenation, '|' for alternation, '+', '*', '?' postfix, 'ε',
+// parentheses, and '^label' for inverse paths (traverse an edge
+// backwards, as in SPARQL 1.1 property paths).
+func ParseQuery(q string) (Expr, error) { return rpq.Parse(q) }
+
+// MustParseQuery is ParseQuery but panics on error; for static queries.
+func MustParseQuery(q string) Expr { return rpq.MustParse(q) }
+
+// Pair is an ordered (start vertex, end vertex) result pair.
+type Pair = pairs.Pair
+
+// Result is the evaluation result of an RPQ: a set of ordered vertex
+// pairs (Definition 2 of the paper).
+type Result = pairs.Set
+
+// Strategy selects the multi-query evaluation method.
+type Strategy = core.Strategy
+
+const (
+	// RTCSharing shares the reduced transitive closure (the paper's
+	// contribution, Algorithms 1 and 2). This is the default.
+	RTCSharing = core.RTCSharing
+	// FullSharing shares the full closure R+_G (Abul-Basher, ICDE 2017).
+	FullSharing = core.FullSharing
+	// NoSharing evaluates each query independently by automaton-product
+	// traversal (Yakovets et al., SIGMOD 2016).
+	NoSharing = core.NoSharing
+)
+
+// TCAlgorithm selects the transitive-closure algorithm for the reduced
+// graph.
+type TCAlgorithm = rtc.TCAlgorithm
+
+const (
+	// BFSClosure is a per-vertex BFS (the paper's Table III default).
+	BFSClosure = rtc.BFSClosure
+	// PurdomClosure is Purdom's SCC-based algorithm (BIT 1970).
+	PurdomClosure = rtc.PurdomClosure
+	// NuutilaClosure is Nuutila's interleaved algorithm (IPL 1994).
+	NuutilaClosure = rtc.NuutilaClosure
+)
+
+// Options configure an Engine. The zero value selects RTCSharing with a
+// BFS closure, no DFA determinisation and the default DNF bound.
+type Options = core.Options
+
+// Stats is the engine's accumulated timing split: SharedData (computing
+// the shared closure structure), PreJoin (the Pre_G ⋈ R+_G join) and
+// Remainder, plus cache counters.
+type Stats = core.Stats
+
+// SharedSummary describes one cached shared structure: the sub-query R,
+// the shared pair count, and the reduced-graph vertex counts.
+type SharedSummary = core.SharedSummary
+
+// Engine evaluates RPQs over one graph, sharing closure structures
+// across queries. It is not safe for concurrent use; create one engine
+// per goroutine over the same (immutable) Graph.
+type Engine = core.Engine
+
+// Plan is the output of Engine.Explain / Engine.ExplainQuery: the DNF
+// clauses, their Pre/R/Post decompositions, and which shared structures
+// are already cached. Explaining never executes or mutates anything.
+type Plan = core.Plan
+
+// PlanClause is one batch unit of a Plan.
+type PlanClause = core.PlanClause
+
+// NewEngine returns an engine over g.
+func NewEngine(g *Graph, opts Options) *Engine { return core.New(g, opts) }
+
+// Evaluate is a one-shot convenience: parse and evaluate a single query
+// with a fresh RTCSharing engine.
+func Evaluate(g *Graph, query string) (*Result, error) {
+	return NewEngine(g, Options{}).EvaluateQuery(query)
+}
+
+// EvaluateParallel evaluates a single query by automaton-product
+// traversal fanned out over worker goroutines (workers ≤ 0 uses
+// GOMAXPROCS). Start vertices partition perfectly, so this scales close
+// to linearly for traversal-bound queries. Unlike Evaluate it does not
+// use closure sharing — it is the right tool for one-off queries on big
+// graphs, while an Engine is the right tool for query batches.
+func EvaluateParallel(g *Graph, query string, workers int) (*Result, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return eval.New(g, expr, eval.Options{}).EvaluateAllParallel(workers), nil
+}
+
+// RMATConfig parameterises the synthetic graph generator (the
+// recursive-matrix model used by the paper's evaluation datasets).
+type RMATConfig = datagen.RMATConfig
+
+// GenerateRMAT draws a random edge-labeled multigraph from the RMAT
+// distribution; see RMATConfig.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) { return datagen.RMAT(cfg) }

@@ -1,0 +1,175 @@
+package rtcshare_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rtcshare"
+)
+
+// fig1 builds the paper's running example graph through the public API.
+func fig1(t testing.TB) *rtcshare.Graph {
+	t.Helper()
+	b := rtcshare.NewGraphBuilder(10)
+	edges := []struct {
+		src   rtcshare.VID
+		label string
+		dst   rtcshare.VID
+	}{
+		{7, "d", 4}, {4, "b", 1}, {1, "c", 2}, {2, "c", 5}, {2, "b", 5},
+		{2, "b", 3}, {3, "b", 2}, {5, "b", 6}, {5, "c", 6}, {5, "c", 4},
+		{6, "c", 3}, {0, "a", 1}, {7, "a", 8}, {8, "e", 9}, {9, "f", 8},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(e.src, e.label, e.dst)
+	}
+	return b.Build()
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	g := fig1(t)
+	res, err := rtcshare.Evaluate(g, "d·(b·c)+·c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || !res.Contains(7, 5) || !res.Contains(7, 3) {
+		t.Fatalf("got %v, want {(7,5),(7,3)}", res.Sorted())
+	}
+}
+
+func TestPublicStrategies(t *testing.T) {
+	g := fig1(t)
+	for _, s := range []rtcshare.Strategy{rtcshare.RTCSharing, rtcshare.FullSharing, rtcshare.NoSharing} {
+		e := rtcshare.NewEngine(g, rtcshare.Options{Strategy: s})
+		res, err := e.EvaluateQuery("d.(b.c)+.c")
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Len() != 2 {
+			t.Errorf("%v: %d pairs, want 2", s, res.Len())
+		}
+	}
+}
+
+func TestPublicEngineStats(t *testing.T) {
+	g := fig1(t)
+	e := rtcshare.NewEngine(g, rtcshare.Options{})
+	queries := []string{"a.(b.c)+.c", "d.(b.c)+.c", "(b.c)*.c"}
+	for _, q := range queries {
+		if _, err := e.EvaluateQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Queries != len(queries) {
+		t.Errorf("Queries = %d, want %d", st.Queries, len(queries))
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1 (b·c shared)", st.CacheHits, st.CacheMisses)
+	}
+	sums := e.SharedSummaries()
+	if len(sums) != 1 || sums[0].R != "b.c" {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g := fig1(t)
+	var buf bytes.Buffer
+	if err := rtcshare.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := rtcshare.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtcshare.Evaluate(g2, "d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("round-tripped graph gives %d pairs, want 2", res.Len())
+	}
+}
+
+func TestPublicParseQuery(t *testing.T) {
+	e, err := rtcshare.ParseQuery("a.(b|c)+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "a.(b|c)+" {
+		t.Errorf("String = %q", e.String())
+	}
+	if _, err := rtcshare.ParseQuery("(("); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestPublicGenerateRMAT(t *testing.T) {
+	g, err := rtcshare.GenerateRMAT(rtcshare.RMATConfig{Vertices: 64, Edges: 256, Labels: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 256 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	eng := rtcshare.NewEngine(g, rtcshare.Options{})
+	if _, err := eng.EvaluateQuery("l0.l1+.l2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicEvaluateParallel(t *testing.T) {
+	g := fig1(t)
+	want, err := rtcshare.Evaluate(g, "d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rtcshare.EvaluateParallel(g, "d.(b.c)+.c", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("parallel %v != serial %v", got.Sorted(), want.Sorted())
+	}
+	if _, err := rtcshare.EvaluateParallel(g, "((", 2); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	g := fig1(t)
+	e := rtcshare.NewEngine(g, rtcshare.Options{})
+	plan, err := e.ExplainQuery("d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Clauses) != 1 || plan.Clauses[0].R != "b.c" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.String() == "" {
+		t.Error("empty plan rendering")
+	}
+}
+
+func TestPublicInverseLabels(t *testing.T) {
+	g := fig1(t)
+	res, err := rtcshare.Evaluate(g, "^d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !res.Contains(4, 7) {
+		t.Fatalf("(^d)_G = %v, want {(4,7)}", res.Sorted())
+	}
+}
+
+func TestPublicTCAlgorithms(t *testing.T) {
+	g := fig1(t)
+	for _, algo := range []rtcshare.TCAlgorithm{rtcshare.BFSClosure, rtcshare.PurdomClosure, rtcshare.NuutilaClosure} {
+		e := rtcshare.NewEngine(g, rtcshare.Options{TCAlgo: algo})
+		res, err := e.EvaluateQuery("d.(b.c)+.c")
+		if err != nil || res.Len() != 2 {
+			t.Errorf("algo %v: res=%v err=%v", algo, res, err)
+		}
+	}
+}
