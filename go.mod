@@ -1,0 +1,3 @@
+module rtcshare
+
+go 1.24

@@ -44,6 +44,9 @@ type RunConfig struct {
 	// Verify cross-checks that all strategies return identical result
 	// counts on every query (slower; on by default in tests).
 	Verify bool
+	// Workers is the largest fan-out of the parallel batch sweep
+	// (fig16); the sweep runs worker counts 1, 2, 4, … up to it.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -61,6 +64,7 @@ func DefaultConfig() RunConfig {
 		RealVertices: 512,
 		Seed:         2022, // ICDE 2022
 		Verify:       false,
+		Workers:      4,
 	}
 }
 
@@ -231,6 +235,9 @@ func checkConfig(cfg RunConfig) error {
 	}
 	if len(cfg.RPQCounts) == 0 {
 		return fmt.Errorf("bench: RPQCounts must not be empty")
+	}
+	if cfg.Workers < 0 || cfg.Workers > 256 {
+		return fmt.Errorf("bench: Workers %d out of range (0..256)", cfg.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+)
+
+func TestParallelBatchSweep(t *testing.T) {
+	cfg := tinyConfig()
+	ps, err := RunParallelBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker counts 1, 2, 4 for each of the three strategies.
+	if want := 3 * 3; len(ps.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(ps.Rows), want)
+	}
+	if ps.Queries != cfg.NumSets*10 {
+		t.Errorf("batch size = %d, want %d", ps.Queries, cfg.NumSets*10)
+	}
+	if ps.DistinctR <= 0 || ps.DistinctR > cfg.NumSets {
+		t.Errorf("distinct R = %d, want in (0, %d]", ps.DistinctR, cfg.NumSets)
+	}
+	for _, r := range ps.Rows {
+		if r.Wall <= 0 {
+			t.Errorf("%v×%d: non-positive wall time", r.Strategy, r.Workers)
+		}
+		// RunParallelBatch already failed the run if results diverged or
+		// a sharing strategy computed a structure twice; spot-check the
+		// reported counters anyway.
+		if r.Strategy != core.NoSharing && r.Computes != ps.DistinctR {
+			t.Errorf("%v×%d: computes = %d, want %d", r.Strategy, r.Workers, r.Computes, ps.DistinctR)
+		}
+		if r.Strategy == core.NoSharing && r.Hits != 0 {
+			t.Errorf("No×%d: hits = %d, want 0", r.Workers, r.Hits)
+		}
+	}
+
+	var buf bytes.Buffer
+	ps.RenderFig16(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig. 16", "workers", "speedup", "RTC", "Full", "No"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParallelBeatsSerial is the speedup acceptance check: with ≥ 4
+// workers the parallel batch must beat the serial engine's wall-clock.
+// Parallel wall-clock speedup requires parallel hardware, so the
+// assertion runs only where ≥ 4 CPUs are available (CI runners,
+// developer machines); elsewhere the test still runs the sweep and
+// verifies correctness/exactly-once, then skips the timing claim.
+func TestParallelBeatsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; -short set")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs: wall-clock speedup needs ≥ 4 (correctness of the parallel path is covered by internal/core and TestParallelBatchSweep)", runtime.NumCPU())
+	}
+	cfg := DefaultConfig()
+	cfg.NumSets = 4
+	cfg.Workers = 4
+	ps, err := RunParallelBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, parallel *ParallelRow
+	for i := range ps.Rows {
+		r := &ps.Rows[i]
+		if r.Strategy == core.RTCSharing && r.Workers == 1 {
+			serial = r
+		}
+		if r.Strategy == core.RTCSharing && r.Workers == cfg.Workers {
+			parallel = r
+		}
+	}
+	if serial == nil || parallel == nil {
+		t.Fatalf("sweep missing RTC serial/parallel rows: %+v", ps.Rows)
+	}
+	if parallel.Computes != ps.DistinctR {
+		t.Fatalf("parallel run computed %d structures, want %d", parallel.Computes, ps.DistinctR)
+	}
+	if parallel.Wall >= serial.Wall {
+		t.Errorf("parallel (%d workers) %v not faster than serial %v", cfg.Workers, parallel.Wall, serial.Wall)
+	}
+}
+
+// benchBatch builds the fig16 batch once for the Go benchmarks.
+func benchBatch(b *testing.B) (g *graph.Graph, batch []rpq.Expr) {
+	b.Helper()
+	cfg := DefaultConfig()
+	spec := datagen.RMATSpec(3, cfg.ScaleExp)
+	gr, err := spec.Generate(cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets, err := makeWorkload(gr, cfg, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range sets {
+		batch = append(batch, s.Queries...)
+	}
+	return gr, batch
+}
+
+func benchmarkBatch(b *testing.B, workers int) {
+	g, batch := benchBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := core.New(g, core.Options{})
+		var err error
+		if workers <= 1 {
+			_, err = engine.EvaluateSet(batch)
+		} else {
+			_, err = engine.EvaluateBatchParallel(batch, workers)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSerial(b *testing.B)     { benchmarkBatch(b, 1) }
+func BenchmarkBatch4Workers(b *testing.B)   { benchmarkBatch(b, 4) }
+func BenchmarkBatchGOMAXPROCS(b *testing.B) { benchmarkBatch(b, 0) }

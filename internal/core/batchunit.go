@@ -140,7 +140,7 @@ func (e *Engine) EvalBatchUnit(preG *pairs.Set, structure *rtc.RTC, typ rpq.Clos
 			}
 		}
 	}
-	e.stats.PreJoin += time.Since(joinStart)
+	e.addPreJoin(time.Since(joinStart))
 
 	return e.joinPost(resEq9, post)
 }
@@ -182,7 +182,7 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq
 			}
 		}
 	}
-	e.stats.PreJoin += time.Since(joinStart)
+	e.addPreJoin(time.Since(joinStart))
 
 	return e.joinPost(resEq9, post)
 }
@@ -195,7 +195,7 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq
 // guarantee.
 func (e *Engine) joinPost(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
 	t0 := time.Now()
-	defer func() { e.stats.Remainder += time.Since(t0) }()
+	defer func() { e.addRemainder(time.Since(t0)) }()
 
 	resEq10 := pairs.NewSet()
 	_, postIsEps := post.(rpq.Epsilon)
@@ -207,7 +207,9 @@ func (e *Engine) joinPost(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error
 		seenVl = newStampSet(e.g.NumVertices())
 	)
 	if !postIsEps {
-		evalPost = e.evaluator(post)
+		var evalKey string
+		evalPost, evalKey = e.acquireEvaluator(post)
+		defer e.releaseEvaluator(evalKey, evalPost)
 		ends = make(map[graph.VID][]graph.VID)
 	}
 

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/eval"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/workload"
+)
+
+// pairsSet aliases the result-set type; the identifier "pairs" is taken
+// by the package.
+type pairsSet = pairs.Set
+
+// This file is the end-to-end differential property test: the paper's
+// correctness claim is that RTCSharing, FullSharing and NoSharing all
+// compute the same Q_G (Theorems 1 and 2), so on random graphs ×
+// random workloads every strategy — serial, batch-parallel, and the
+// single shared engine — must agree pairwise with the compositional
+// reference evaluator, which knows nothing about automata, DNF,
+// reductions or caches.
+
+// differentialCase is one random graph × workload combination.
+type differentialCase struct {
+	graphSeed, workSeed int64
+	vertices, edges     int
+	labels              int
+}
+
+// differentialCases enumerates ≥ 20 combinations, varying density and
+// alphabet so the closure sub-queries range from near-empty to
+// SCC-heavy.
+func differentialCases() []differentialCase {
+	var cases []differentialCase
+	for i := int64(0); i < 7; i++ {
+		for j := int64(0); j < 3; j++ {
+			cases = append(cases, differentialCase{
+				graphSeed: 100 + i,
+				workSeed:  200 + 7*j + i,
+				vertices:  48 + 16*int(i%3),
+				edges:     (48 + 16*int(i%3)) * (2 + int(j)),
+				labels:    3 + int(i%2),
+			})
+		}
+	}
+	return cases
+}
+
+func (c differentialCase) graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := datagen.RMAT(datagen.RMATConfig{
+		Vertices: c.vertices,
+		Edges:    c.edges,
+		Labels:   c.labels,
+		Seed:     c.graphSeed,
+	})
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	return g
+}
+
+// queries draws the workload: the paper's Pre·R+·Post batch units plus a
+// few unconstrained random expressions so the test also covers
+// alternation-heavy DNFs, stars, optionals and inverse labels.
+func (c differentialCase) queries(t *testing.T, dict *graph.Dict) []rpq.Expr {
+	t.Helper()
+	wcfg := workload.DefaultConfig(2, c.workSeed)
+	wcfg.MaxRPQs = 3
+	sets, err := workload.Generate(dict, wcfg)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	var qs []rpq.Expr
+	for _, s := range sets {
+		qs = append(qs, s.Queries...)
+	}
+	rng := rand.New(rand.NewSource(c.workSeed))
+	labels := dict.Names()
+	for i := 0; i < 4; i++ {
+		qs = append(qs, rpq.RandomExpr(rng, labels, 3))
+	}
+	return qs
+}
+
+func TestDifferentialStrategiesMatchReference(t *testing.T) {
+	cases := differentialCases()
+	if len(cases) < 20 {
+		t.Fatalf("only %d graph/workload combinations, want ≥ 20", len(cases))
+	}
+	for _, c := range cases {
+		g := c.graph(t)
+		qs := c.queries(t, g.Dict())
+
+		// The oracle, computed once per query.
+		want := make([]*pairsSet, len(qs))
+		for i, q := range qs {
+			want[i] = eval.Reference(g, q)
+		}
+
+		for _, strategy := range strategies() {
+			engine := New(g, Options{Strategy: strategy})
+			for i, q := range qs {
+				got, err := engine.Evaluate(q)
+				if err != nil {
+					t.Fatalf("seed %d/%d %v: evaluate %q: %v", c.graphSeed, c.workSeed, strategy, q, err)
+				}
+				if !got.Equal(want[i]) {
+					t.Errorf("seed %d/%d %v: %q: engine %d pairs, reference %d pairs",
+						c.graphSeed, c.workSeed, strategy, q, got.Len(), want[i].Len())
+				}
+			}
+		}
+
+		// The parallel path must agree with the same oracle.
+		engine := New(g, Options{})
+		got, err := engine.EvaluateBatchParallel(qs, 4)
+		if err != nil {
+			t.Fatalf("seed %d/%d parallel: %v", c.graphSeed, c.workSeed, err)
+		}
+		for i := range qs {
+			if !got[i].Equal(want[i]) {
+				t.Errorf("seed %d/%d parallel: %q: got %d pairs, reference %d pairs",
+					c.graphSeed, c.workSeed, qs[i], got[i].Len(), want[i].Len())
+			}
+		}
+	}
+}

@@ -17,10 +17,23 @@
 //
 // Engines record the paper's three-part timing split (Shared_Data,
 // PreG ⋈ R+G, Remainder) so the evaluation figures can be regenerated.
+//
+// # Concurrency
+//
+// The shared structures live in a SharedCache: immutable once computed,
+// sharded, with singleflight deduplication, so any number of engines —
+// and any number of goroutines calling one engine — can share one cache.
+// An Engine is safe for concurrent use: its timing split and summaries
+// are mutex-guarded, and automaton-product evaluators (which carry
+// mutable traversal scratch) are checked out of a per-engine free list,
+// never shared between two running evaluations. EvaluateBatchParallel
+// fans a query batch over worker engines forked from the receiver; the
+// forks share the receiver's cache and fold their Stats back into it.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rtcshare/internal/eval"
@@ -28,7 +41,6 @@ import (
 	"rtcshare/internal/pairs"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
-	"rtcshare/internal/tc"
 )
 
 // Strategy selects the multi-RPQ evaluation method.
@@ -90,12 +102,26 @@ type Stats struct {
 
 	// Queries is the number of top-level Evaluate calls.
 	Queries int
-	// CacheHits / CacheMisses count shared-structure lookups.
+	// CacheHits / CacheMisses count shared-structure lookups. Under
+	// singleflight a goroutine that waited for another's in-flight
+	// computation counts a hit: the structure was computed once.
 	CacheHits, CacheMisses int
 }
 
 // Total returns the full query response time.
 func (s Stats) Total() time.Duration { return s.SharedData + s.PreJoin + s.Remainder }
+
+// Add folds other into s — the race-free aggregation step of
+// EvaluateBatchParallel (each worker accumulates privately; the parent
+// sums the per-worker splits after the join).
+func (s *Stats) Add(other Stats) {
+	s.SharedData += other.SharedData
+	s.PreJoin += other.PreJoin
+	s.Remainder += other.Remainder
+	s.Queries += other.Queries
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+}
 
 // SharedSummary describes one cached shared structure (one sub-query R).
 type SharedSummary struct {
@@ -115,31 +141,67 @@ type SharedSummary struct {
 }
 
 // Engine evaluates regular path queries over one graph with one strategy.
-// It is not safe for concurrent use.
+// It is safe for concurrent use; engines created with NewWithCache or
+// Fork additionally share their closure structures with each other.
 type Engine struct {
-	g    *graph.Graph
-	opts Options
+	g     *graph.Graph
+	opts  Options
+	cache *SharedCache
 
-	rtcCache  map[string]*rtc.RTC
-	fullCache map[string]*tc.Closure
+	// mu guards stats and summaries.
+	mu        sync.Mutex
+	stats     Stats
 	summaries map[string]SharedSummary
-	evaluated map[string]*pairs.Set // memo for R_G / Pre_G sub-evaluations
-	evalCache map[string]*eval.Evaluator
 
-	stats Stats
+	// subMu guards subResults, the per-engine memo of sub-query results
+	// R_G / Pre_G. These pair sets can be large, so they live and die
+	// with the engine; only the compact closure structures go in the
+	// SharedCache.
+	subMu      sync.Mutex
+	subResults map[string]*pairs.Set
+
+	// evalMu guards evalFree, a free list of automaton-product
+	// evaluators per expression. Evaluators carry mutable traversal
+	// scratch, so a running evaluation holds one exclusively and
+	// returns it when done.
+	evalMu   sync.Mutex
+	evalFree map[string][]*eval.Evaluator
 }
 
-// New returns an Engine over g.
+// New returns an Engine over g with a private SharedCache.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{
-		g:         g,
-		opts:      opts,
-		rtcCache:  make(map[string]*rtc.RTC),
-		fullCache: make(map[string]*tc.Closure),
-		summaries: make(map[string]SharedSummary),
-		evaluated: make(map[string]*pairs.Set),
-		evalCache: make(map[string]*eval.Evaluator),
+	return NewWithCache(g, opts, NewSharedCache())
+}
+
+// NewWithCache returns an Engine over g that stores its shared closure
+// structures in cache. Engines over the same graph with the same
+// strategy may share one cache: a sub-query computed by any of them is
+// reused by all, which extends the paper's intra-batch sharing across
+// concurrent query streams. The cache must not be shared between
+// engines with different graphs, strategies or TC algorithms — the
+// cache key is the sub-query text, which does not encode those.
+func NewWithCache(g *graph.Graph, opts Options, cache *SharedCache) *Engine {
+	if cache == nil {
+		cache = NewSharedCache()
 	}
+	return &Engine{
+		g:          g,
+		opts:       opts,
+		cache:      cache,
+		summaries:  make(map[string]SharedSummary),
+		subResults: make(map[string]*pairs.Set),
+		evalFree:   make(map[string][]*eval.Evaluator),
+	}
+}
+
+// Fork returns a new engine over the same graph and options, sharing the
+// receiver's SharedCache but nothing else: the fork has zero Stats, its
+// own summaries, and its own evaluator free list. Forks are how
+// EvaluateBatchParallel builds its workers; they are also the cheap way
+// to hand each request goroutine of a server its own engine while
+// keeping one process-wide cache.
+func (e *Engine) Fork() *Engine {
+	return NewWithCache(e.g, e.opts, e.cache)
 }
 
 // Graph returns the engine's graph.
@@ -148,25 +210,45 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// Cache returns the engine's shared-structure cache.
+func (e *Engine) Cache() *SharedCache { return e.cache }
+
 // Stats returns the accumulated timing split.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // ResetStats zeroes the timing split (the caches are kept; use
 // ClearCaches to drop them).
-func (e *Engine) ResetStats() { e.stats = Stats{} }
-
-// ClearCaches drops all shared structures and memoised sub-results.
-func (e *Engine) ClearCaches() {
-	e.rtcCache = make(map[string]*rtc.RTC)
-	e.fullCache = make(map[string]*tc.Closure)
-	e.summaries = make(map[string]SharedSummary)
-	e.evaluated = make(map[string]*pairs.Set)
-	e.evalCache = make(map[string]*eval.Evaluator)
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
 }
 
-// SharedSummaries returns one summary per cached shared structure, in
-// unspecified order.
+// ClearCaches drops all shared structures and memoised sub-results.
+// Because the structures live in the SharedCache, this affects every
+// engine sharing it.
+func (e *Engine) ClearCaches() {
+	e.cache.Reset()
+	e.mu.Lock()
+	e.summaries = make(map[string]SharedSummary)
+	e.mu.Unlock()
+	e.subMu.Lock()
+	e.subResults = make(map[string]*pairs.Set)
+	e.subMu.Unlock()
+	e.evalMu.Lock()
+	e.evalFree = make(map[string][]*eval.Evaluator)
+	e.evalMu.Unlock()
+}
+
+// SharedSummaries returns one summary per shared structure this engine
+// has used (computed or fetched from the cache), in unspecified order.
 func (e *Engine) SharedSummaries() []SharedSummary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]SharedSummary, 0, len(e.summaries))
 	for _, s := range e.summaries {
 		out = append(out, s)
@@ -177,6 +259,8 @@ func (e *Engine) SharedSummaries() []SharedSummary {
 // SharedPairsTotal sums SharedPairs over all cached shared structures —
 // the paper's "shared data size" metric (Fig. 12).
 func (e *Engine) SharedPairsTotal() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	total := 0
 	for _, s := range e.summaries {
 		total += s.SharedPairs
@@ -195,7 +279,9 @@ func (e *Engine) EvaluateQuery(q string) (*pairs.Set, error) {
 
 // Evaluate computes Q_G for the query under the engine's strategy.
 func (e *Engine) Evaluate(q rpq.Expr) (*pairs.Set, error) {
+	e.mu.Lock()
 	e.stats.Queries++
+	e.mu.Unlock()
 	return e.evaluateSharing(q)
 }
 
@@ -213,16 +299,61 @@ func (e *Engine) EvaluateSet(qs []rpq.Expr) ([]*pairs.Set, error) {
 	return out, nil
 }
 
-// evaluator returns a cached automaton-product evaluator for the
-// expression.
-func (e *Engine) evaluator(q rpq.Expr) *eval.Evaluator {
-	key := q.String()
-	if ev, ok := e.evalCache[key]; ok {
-		return ev
+// addShared, addPreJoin and addRemainder attribute elapsed time to the
+// three-part split under the stats lock.
+func (e *Engine) addShared(d time.Duration) {
+	e.mu.Lock()
+	e.stats.SharedData += d
+	e.mu.Unlock()
+}
+
+func (e *Engine) addPreJoin(d time.Duration) {
+	e.mu.Lock()
+	e.stats.PreJoin += d
+	e.mu.Unlock()
+}
+
+func (e *Engine) addRemainder(d time.Duration) {
+	e.mu.Lock()
+	e.stats.Remainder += d
+	e.mu.Unlock()
+}
+
+// countLookup records a shared-structure cache hit or miss plus the
+// summary of the structure involved, so SharedSummaries reflects every
+// structure the engine used regardless of which engine computed it.
+func (e *Engine) countLookup(hit bool, sum SharedSummary) {
+	e.mu.Lock()
+	if hit {
+		e.stats.CacheHits++
+	} else {
+		e.stats.CacheMisses++
 	}
-	ev := eval.New(e.g, q, eval.Options{UseDFA: e.opts.UseDFA})
-	e.evalCache[key] = ev
-	return ev
+	e.summaries[sum.R] = sum
+	e.mu.Unlock()
+}
+
+// acquireEvaluator checks an automaton-product evaluator for q out of
+// the free list, compiling a fresh one when none is idle. The caller
+// owns it exclusively until releaseEvaluator.
+func (e *Engine) acquireEvaluator(q rpq.Expr) (*eval.Evaluator, string) {
+	key := q.String()
+	e.evalMu.Lock()
+	if free := e.evalFree[key]; len(free) > 0 {
+		ev := free[len(free)-1]
+		e.evalFree[key] = free[:len(free)-1]
+		e.evalMu.Unlock()
+		return ev, key
+	}
+	e.evalMu.Unlock()
+	return eval.New(e.g, q, eval.Options{UseDFA: e.opts.UseDFA}), key
+}
+
+// releaseEvaluator returns an evaluator to the free list for reuse.
+func (e *Engine) releaseEvaluator(key string, ev *eval.Evaluator) {
+	e.evalMu.Lock()
+	e.evalFree[key] = append(e.evalFree[key], ev)
+	e.evalMu.Unlock()
 }
 
 func (e *Engine) maxClauses() int {

@@ -62,12 +62,17 @@ func (e *Engine) Explain(q rpq.Expr) (*Plan, error) {
 		}
 		if bu.Type != rpq.ClosureNone {
 			pc.PreHasKleene = rpq.HasKleene(bu.Pre)
-			key := bu.R.String()
-			switch e.opts.Strategy {
-			case RTCSharing:
-				_, pc.SharedCached = e.rtcCache[key]
-			case FullSharing:
-				_, pc.SharedCached = e.fullCache[key]
+			// An engine that never reuses structures (NoSharing,
+			// DisableCache) must not report them as cached even when a
+			// sibling engine has populated the shared cache.
+			if e.shouldCache() {
+				key := bu.R.String()
+				switch e.opts.Strategy {
+				case RTCSharing:
+					_, pc.SharedCached = e.cache.Lookup(nsRTC + key)
+				case FullSharing:
+					_, pc.SharedCached = e.cache.Lookup(nsFull + key)
+				}
 			}
 		}
 		plan.Clauses = append(plan.Clauses, pc)

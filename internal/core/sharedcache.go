@@ -1,0 +1,166 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// SharedCache holds the shared structures of the sharing strategies —
+// the RTCs (TC(Ḡ_R) + SCC tables) and the full closures R+_G — keyed by
+// the canonical sub-query text. It is
+// the concurrent form of Algorithm 1's "already computed?" test
+// (lines 9–11): any number of engines may share one cache, and two
+// goroutines that miss on the same key at the same time deduplicate —
+// exactly one runs the computation while the others block until the
+// value is published (singleflight).
+//
+// The cache is safe for concurrent use. Keys are spread over a fixed
+// number of independently locked shards, so lookups of distinct
+// sub-queries do not contend; a shard's lock is never held while a value
+// is being computed, so a compute may recursively use the cache (nested
+// Kleene closures depend only on strictly smaller sub-expressions, which
+// rules out cyclic waits). Values stored in the cache are immutable by
+// contract: engines only ever read them.
+type SharedCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheShards is the shard count: enough that a handful of worker
+// goroutines rarely collide, small enough to stay cheap to allocate.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one in-flight or completed computation. done is closed
+// when val/err become readable.
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewSharedCache returns an empty cache.
+func NewSharedCache() *SharedCache {
+	c := &SharedCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+func (c *SharedCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// GetOrCompute returns the cached value for key, computing it with fn on
+// first use. Concurrent calls with the same key run fn once: the first
+// caller computes while the rest wait for its result. computed reports
+// whether this call was the one that ran fn — the cache-miss signal the
+// engine's Stats counters record.
+//
+// If fn fails, every waiter receives the error and the entry is dropped,
+// so a later call retries the computation. fn runs without any cache
+// lock held and may itself call GetOrCompute with different keys.
+func (c *SharedCache) GetOrCompute(key string, fn func() (any, error)) (val any, computed bool, err error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, false, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		s.mu.Lock()
+		// Only evict our own entry: a Reset during fn may have swapped
+		// the map, and another goroutine may since have installed a
+		// fresh (possibly succeeded) entry under the same key.
+		if s.entries[key] == e {
+			delete(s.entries, key)
+		}
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, true, e.err
+}
+
+// Lookup returns the completed value for key without computing anything.
+// It reports false for absent keys and for computations still in flight
+// (Explain uses it, and Explain must never block on a running query).
+func (c *SharedCache) Lookup(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false
+	}
+}
+
+// Len returns the number of cached entries, including in-flight ones.
+func (c *SharedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every entry and zeroes the counters. Entries still being
+// computed are detached, not interrupted: their waiters get the result,
+// but later lookups recompute.
+func (c *SharedCache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*cacheEntry)
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// CacheCounters is a snapshot of a SharedCache's activity: Misses counts
+// GetOrCompute calls that ran the computation, Hits counts calls that
+// reused a cached or in-flight one. Misses therefore equals the number
+// of distinct structures actually computed — the "each R computed
+// exactly once" invariant the concurrency tests assert.
+type CacheCounters struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Counters returns a snapshot of the cache's hit/miss counters.
+func (c *SharedCache) Counters() CacheCounters {
+	return CacheCounters{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
+}

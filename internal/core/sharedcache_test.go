@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSharedCacheSingleflight hammers one cache from many goroutines
+// with overlapping keys and asserts the singleflight invariant: every
+// distinct key's computation runs exactly once, and every caller
+// observes that one value. Run under -race this also exercises the
+// shard locking.
+func TestSharedCacheSingleflight(t *testing.T) {
+	const (
+		goroutines = 32
+		iterations = 200
+		keys       = 10
+	)
+	cache := NewSharedCache()
+	computes := make([]atomic.Int64, keys)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iterations; i++ {
+				k := rng.Intn(keys)
+				v, _, err := cache.GetOrCompute(fmt.Sprintf("key-%d", k), func() (any, error) {
+					computes[k].Add(1)
+					return k * k, nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute: %v", err)
+					return
+				}
+				if got := v.(int); got != k*k {
+					t.Errorf("key %d: got %d, want %d", k, got, k*k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", k, n)
+		}
+	}
+	c := cache.Counters()
+	if c.Misses != keys {
+		t.Errorf("cache misses = %d, want %d (one per distinct key)", c.Misses, keys)
+	}
+	if want := int64(goroutines*iterations) - keys; c.Hits != want {
+		t.Errorf("cache hits = %d, want %d", c.Hits, want)
+	}
+	if c.Entries != keys {
+		t.Errorf("cache entries = %d, want %d", c.Entries, keys)
+	}
+}
+
+// TestSharedCacheErrorRetry verifies that a failed computation is not
+// cached: waiters of the failing flight see the error, and the next
+// call retries.
+func TestSharedCacheErrorRetry(t *testing.T) {
+	cache := NewSharedCache()
+	boom := errors.New("boom")
+	var calls atomic.Int64
+
+	_, computed, err := cache.GetOrCompute("k", func() (any, error) {
+		calls.Add(1)
+		return nil, boom
+	})
+	if !computed || !errors.Is(err, boom) {
+		t.Fatalf("first call: computed=%v err=%v, want computed=true err=boom", computed, err)
+	}
+	if _, ok := cache.Lookup("k"); ok {
+		t.Fatalf("failed computation was cached")
+	}
+
+	v, computed, err := cache.GetOrCompute("k", func() (any, error) {
+		calls.Add(1)
+		return 42, nil
+	})
+	if err != nil || !computed || v.(int) != 42 {
+		t.Fatalf("retry: v=%v computed=%v err=%v, want 42/true/nil", v, computed, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls.Load())
+	}
+}
+
+// TestSharedCacheErrorRetryConcurrent repeats the retry property under
+// contention: many goroutines race on a key whose computation fails the
+// first time it runs; eventually all succeed and the successful value
+// is computed exactly once.
+func TestSharedCacheErrorRetryConcurrent(t *testing.T) {
+	cache := NewSharedCache()
+	var failed, succeeded atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, _, err := cache.GetOrCompute("k", func() (any, error) {
+					if failed.CompareAndSwap(0, 1) {
+						return nil, errors.New("transient")
+					}
+					succeeded.Add(1)
+					return "ok", nil
+				})
+				if err != nil {
+					continue // the transient failure; retry like a caller would
+				}
+				if v.(string) != "ok" {
+					t.Errorf("got %v, want ok", v)
+				}
+				return
+			}
+		}()
+	}
+	wg.Wait()
+
+	if succeeded.Load() != 1 {
+		t.Fatalf("successful compute ran %d times, want exactly 1", succeeded.Load())
+	}
+}
+
+// TestSharedCacheLookupInFlight verifies Lookup never blocks on a
+// computation in progress.
+func TestSharedCacheLookupInFlight(t *testing.T) {
+	cache := NewSharedCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = cache.GetOrCompute("slow", func() (any, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	if _, ok := cache.Lookup("slow"); ok {
+		t.Errorf("Lookup returned an in-flight computation")
+	}
+	close(release)
+	<-done
+	if v, ok := cache.Lookup("slow"); !ok || v.(int) != 1 {
+		t.Errorf("Lookup after completion: %v, %v", v, ok)
+	}
+}
+
+// TestSharedCacheReset verifies Reset drops entries and counters.
+func TestSharedCacheReset(t *testing.T) {
+	cache := NewSharedCache()
+	for i := 0; i < 5; i++ {
+		cache.GetOrCompute(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+	}
+	if cache.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", cache.Len())
+	}
+	cache.Reset()
+	if cache.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", cache.Len())
+	}
+	if c := cache.Counters(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("counters after Reset = %+v, want zero", c)
+	}
+}

@@ -9,6 +9,27 @@ import (
 	"rtcshare/internal/tc"
 )
 
+// Cache-key namespaces. The SharedCache holds two kinds of values keyed
+// by sub-query text; the prefixes keep them apart. '\x00' cannot appear
+// in a canonical expression string.
+const (
+	nsRTC  = "rtc\x00"  // *rtcValue: TC(Ḡ_R) + SCC tables
+	nsFull = "full\x00" // *fullValue: the full closure R+_G
+)
+
+// rtcValue and fullValue pair a shared structure with its summary, so an
+// engine that fetches a structure computed by another engine still
+// reports it in SharedSummaries.
+type rtcValue struct {
+	structure *rtc.RTC
+	summary   SharedSummary
+}
+
+type fullValue struct {
+	closure *tc.Closure
+	summary SharedSummary
+}
+
 // evaluateSharing implements Algorithm 1 (RTCSharing) and its FullSharing
 // counterpart: convert the query to DNF treating outermost Kleene
 // closures as literals, evaluate each clause as a batch unit, share the
@@ -17,7 +38,7 @@ import (
 func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
-	e.stats.Remainder += time.Since(start)
+	e.addRemainder(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -29,8 +50,10 @@ func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 		if bu.Type == rpq.ClosureNone {
 			// Line 6: the clause has no Kleene closure.
 			t0 := time.Now()
-			clauseG = e.evaluator(bu.Post).EvaluateAll()
-			e.stats.Remainder += time.Since(t0)
+			ev, key := e.acquireEvaluator(bu.Post)
+			clauseG = ev.EvaluateAll()
+			e.releaseEvaluator(key, ev)
+			e.addRemainder(time.Since(t0))
 		} else {
 			// Line 8: Pre is evaluated recursively (it may contain
 			// further Kleene closures).
@@ -74,7 +97,7 @@ func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 		} else {
 			result.Union(clauseG)
 		}
-		e.stats.Remainder += time.Since(t0)
+		e.addRemainder(time.Since(t0))
 	}
 	if result == nil {
 		result = pairs.NewSet()
@@ -84,20 +107,35 @@ func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 
 // subEvaluate evaluates a sub-query (Pre or R) with the engine's own
 // sharing strategy, memoising results so repeated sub-queries across
-// batch units are not recomputed. Sub-evaluation time counts as
-// Remainder: both sharing methods perform it identically.
+// batch units and queries are not recomputed. The memo is per-engine,
+// not in the SharedCache: R_G pair sets can be O(|V|²), and keeping
+// them engine-local means they die with the engine while only the
+// compact closure structures persist process-wide. (Cross-engine R_G
+// deduplication still happens where it matters — R is evaluated inside
+// the structure's singleflight.) Memoised sets are immutable by
+// contract; every consumer only reads them. Sub-evaluation time counts
+// as Remainder: both sharing methods perform it identically.
 func (e *Engine) subEvaluate(q rpq.Expr) (*pairs.Set, error) {
+	if !e.shouldCache() {
+		return e.evaluateSharing(q)
+	}
 	key := q.String()
-	if res, ok := e.evaluated[key]; ok {
+	e.subMu.Lock()
+	res, ok := e.subResults[key]
+	e.subMu.Unlock()
+	if ok {
 		return res, nil
 	}
 	res, err := e.evaluateSharing(q)
 	if err != nil {
 		return nil, err
 	}
-	if e.shouldCache() {
-		e.evaluated[key] = res
-	}
+	// Concurrent evaluations of the same sub-query may both get here;
+	// both results are fresh, correct and immutable, so last-write-wins
+	// is fine — the duplicated work is bounded by one evaluation.
+	e.subMu.Lock()
+	e.subResults[key] = res
+	e.subMu.Unlock()
 	return res, nil
 }
 
@@ -108,17 +146,33 @@ func (e *Engine) shouldCache() bool {
 	return e.opts.Strategy != NoSharing && !e.opts.DisableCache
 }
 
-// getRTC returns the cached RTC for R, computing and caching it on first
-// use (Algorithm 1 lines 9–11). Evaluating R_G is Remainder; the
-// reduction and TC(Ḡ_R) are Shared_Data.
+// getRTC returns the shared RTC for R, computing it on first use
+// (Algorithm 1 lines 9–11). Under singleflight, concurrent first uses of
+// the same R compute it exactly once — the engine that ran the
+// computation counts the miss, the ones that waited count hits.
 func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
-	key := r.String()
-	if cached, ok := e.rtcCache[key]; ok {
-		e.stats.CacheHits++
-		return cached, nil
+	if !e.shouldCache() {
+		v, err := e.computeRTC(r)
+		if err != nil {
+			return nil, err
+		}
+		e.countLookup(false, v.summary)
+		return v.structure, nil
 	}
-	e.stats.CacheMisses++
+	val, computed, err := e.cache.GetOrCompute(nsRTC+r.String(), func() (any, error) {
+		return e.computeRTC(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	v := val.(*rtcValue)
+	e.countLookup(!computed, v.summary)
+	return v.structure, nil
+}
 
+// computeRTC evaluates R and builds its reduced transitive closure.
+// Evaluating R_G is Remainder; the reduction and TC(Ḡ_R) are Shared_Data.
+func (e *Engine) computeRTC(r rpq.Expr) (*rtcValue, error) {
 	rg, err := e.subEvaluate(r) // line 10: R_G via recursive RTCSharing
 	if err != nil {
 		return nil, err
@@ -129,7 +183,7 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 	// not Shared_Data (paper Section V-A).
 	t0 := time.Now()
 	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
-	e.stats.Remainder += time.Since(t0)
+	e.addRemainder(time.Since(t0))
 
 	// Shared_Data for RTCSharing: the vertex-level reduction (Tarjan +
 	// condensation) and TC(Ḡ_R). The paper attributes the reduction
@@ -137,31 +191,46 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 	// than FullSharing on the Yago2s shape.
 	t0 = time.Now()
 	structure := rtc.Compute(gr, e.opts.TCAlgo) // line 11: Compute_RTC
-	e.stats.SharedData += time.Since(t0)
+	e.addShared(time.Since(t0))
 
-	if e.shouldCache() {
-		e.rtcCache[key] = structure
-	}
-	e.summaries[key] = SharedSummary{
-		R:                   key,
-		SharedPairs:         structure.NumSharedPairs(),
-		ReducedVertices:     structure.NumReducedVertices(),
-		EdgeReducedVertices: gr.NumActive(),
-		AvgSCCSize:          structure.Components().AverageSize(),
-	}
-	return structure, nil
+	return &rtcValue{
+		structure: structure,
+		summary: SharedSummary{
+			R:                   r.String(),
+			SharedPairs:         structure.NumSharedPairs(),
+			ReducedVertices:     structure.NumReducedVertices(),
+			EdgeReducedVertices: gr.NumActive(),
+			AvgSCCSize:          structure.Components().AverageSize(),
+		},
+	}, nil
 }
 
-// getFullClosure returns the cached full closure R+_G = TC(G_R) for
-// FullSharing, computing and caching it on first use.
+// getFullClosure returns the shared full closure R+_G = TC(G_R) for
+// FullSharing, computing it on first use with the same singleflight
+// discipline as getRTC.
 func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
-	key := r.String()
-	if cached, ok := e.fullCache[key]; ok {
-		e.stats.CacheHits++
-		return cached, nil
+	if !e.shouldCache() {
+		v, err := e.computeFullClosure(r)
+		if err != nil {
+			return nil, err
+		}
+		e.countLookup(false, v.summary)
+		return v.closure, nil
 	}
-	e.stats.CacheMisses++
+	val, computed, err := e.cache.GetOrCompute(nsFull+r.String(), func() (any, error) {
+		return e.computeFullClosure(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	v := val.(*fullValue)
+	e.countLookup(!computed, v.summary)
+	return v.closure, nil
+}
 
+// computeFullClosure evaluates R and materialises the full closure of
+// the edge-level reduced graph G_R.
+func (e *Engine) computeFullClosure(r rpq.Expr) (*fullValue, error) {
 	rg, err := e.subEvaluate(r)
 	if err != nil {
 		return nil, err
@@ -169,22 +238,21 @@ func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 
 	t0 := time.Now()
 	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
-	e.stats.Remainder += time.Since(t0)
+	e.addRemainder(time.Since(t0))
 
 	// Shared_Data for FullSharing: the closure of the *unreduced* G_R —
 	// Table III's O(|V_R|·|E_R|) computation.
 	t0 = time.Now()
 	closure := tc.BFS(gr)
-	e.stats.SharedData += time.Since(t0)
+	e.addShared(time.Since(t0))
 
-	if e.shouldCache() {
-		e.fullCache[key] = closure
-	}
-	e.summaries[key] = SharedSummary{
-		R:                   key,
-		SharedPairs:         closure.NumPairs(),
-		ReducedVertices:     gr.NumActive(),
-		EdgeReducedVertices: gr.NumActive(),
-	}
-	return closure, nil
+	return &fullValue{
+		closure: closure,
+		summary: SharedSummary{
+			R:                   r.String(),
+			SharedPairs:         closure.NumPairs(),
+			ReducedVertices:     gr.NumActive(),
+			EdgeReducedVertices: gr.NumActive(),
+		},
+	}, nil
 }

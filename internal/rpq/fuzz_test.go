@@ -1,0 +1,64 @@
+package rpq
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that parse → print →
+// parse is a fixed point: the canonical text of a parsed expression
+// reparses to an expression with the same canonical text (the
+// equivalence the rest of the repository relies on, since canonical
+// text is both the cache key and the Equal relation).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Every operator of the grammar.
+		"a", "a.b", "a·b", "a/b", "a|b", "a+", "a*", "a?", "ε", "^a",
+		"(a.b)+.c", "d·(b·c)+·c", "a.(b|c)*.d", "(a|b)?",
+		"((a))", "a|b|c", "a.b.c", "^label-with-dash", "l0.(l1.l2)+.l3",
+		"(a.b+.c)+", "(a.b)*.b+.(a.b+.c)+", "a++", "a+*?",
+		"^a.^b+", "(ε|a).b", "ε?",
+		// Near-miss inputs that must error, not panic.
+		"", "(", ")", "a.", ".a", "|", "a|", "^", "^+", "ε+", "(ε)+",
+		"-a", "a..b", "a b", "((a)", "a)", "·", "^(a)", "ab\xff", "🦉",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		text := e.String()
+		e2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical text %q of %q does not reparse: %v", text, input, err)
+		}
+		if got := e2.String(); got != text {
+			t.Fatalf("parse→print→parse not a fixed point: %q → %q → %q", input, text, got)
+		}
+		if !Equal(e, e2) {
+			t.Fatalf("round-tripped expression not Equal: %q vs %q", text, e2.String())
+		}
+	})
+}
+
+// FuzzParsePaperFormat extends the round-trip through FormatPaper: the
+// '·'-rendered form the paper prints must reparse to the same
+// expression.
+func FuzzParsePaperFormat(f *testing.F) {
+	for _, seed := range []string{"d.(b.c)+.c", "a|b", "a*.b?", "^a.b+"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		paper := FormatPaper(e)
+		e2, err := Parse(paper)
+		if err != nil {
+			t.Fatalf("paper form %q of %q does not reparse: %v", paper, input, err)
+		}
+		if !Equal(e, e2) {
+			t.Fatalf("paper-form round trip changed the expression: %q vs %q", e.String(), e2.String())
+		}
+	})
+}

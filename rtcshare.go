@@ -134,9 +134,28 @@ type Stats = core.Stats
 type SharedSummary = core.SharedSummary
 
 // Engine evaluates RPQs over one graph, sharing closure structures
-// across queries. It is not safe for concurrent use; create one engine
-// per goroutine over the same (immutable) Graph.
+// across queries. It is safe for concurrent use: the shared structures
+// live in a SharedCache (singleflight-deduplicated, so concurrent
+// queries needing the same closure sub-query compute it once), and the
+// per-engine accounting is lock-protected. Engine.Fork creates engines
+// that share the receiver's cache; Engine.EvaluateBatchParallel fans a
+// query batch over such forks.
 type Engine = core.Engine
+
+// SharedCache holds the shared closure structures (the paper's RTCs,
+// full closures, and memoised sub-query results). One cache may back any
+// number of engines over the same graph and options; it is safe for
+// concurrent use and deduplicates concurrent computations of the same
+// sub-query. See DESIGN.md for the concurrency model.
+type SharedCache = core.SharedCache
+
+// CacheCounters is a snapshot of a SharedCache's hit/miss counters.
+// Misses equals the number of structures actually computed.
+type CacheCounters = core.CacheCounters
+
+// NewSharedCache returns an empty shared-structure cache for
+// NewEngineWithCache.
+func NewSharedCache() *SharedCache { return core.NewSharedCache() }
 
 // Plan is the output of Engine.Explain / Engine.ExplainQuery: the DNF
 // clauses, their Pre/R/Post decompositions, and which shared structures
@@ -146,8 +165,25 @@ type Plan = core.Plan
 // PlanClause is one batch unit of a Plan.
 type PlanClause = core.PlanClause
 
-// NewEngine returns an engine over g.
+// NewEngine returns an engine over g with a private SharedCache.
 func NewEngine(g *Graph, opts Options) *Engine { return core.New(g, opts) }
+
+// NewEngineWithCache returns an engine over g backed by an existing
+// SharedCache, so independently created engines (one per request
+// goroutine, say) share closure structures. All engines on one cache
+// must use the same graph, strategy and TC algorithm.
+func NewEngineWithCache(g *Graph, opts Options, cache *SharedCache) *Engine {
+	return core.NewWithCache(g, opts, cache)
+}
+
+// EvaluateBatch is a one-shot convenience: parse a query batch and
+// evaluate it with a fresh RTCSharing engine fanned over the given
+// number of workers (workers ≤ 0 uses GOMAXPROCS). All workers share
+// one cache, so each distinct closure sub-query is computed exactly
+// once. Results are in input order.
+func EvaluateBatch(g *Graph, queries []string, workers int) ([]*Result, error) {
+	return NewEngine(g, Options{}).EvaluateQueriesParallel(queries, workers)
+}
 
 // Evaluate is a one-shot convenience: parse and evaluate a single query
 // with a fresh RTCSharing engine.

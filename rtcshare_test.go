@@ -173,3 +173,55 @@ func TestPublicTCAlgorithms(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicEvaluateBatch(t *testing.T) {
+	g := fig1(t)
+	queries := []string{"d.(b.c)+.c", "a.(b.c)+.b", "d.(b.c)+.c", "(b.c)+"}
+	got, err := rtcshare.EvaluateBatch(g, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("results = %d, want %d", len(got), len(queries))
+	}
+	for i, q := range queries {
+		want, err := rtcshare.Evaluate(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[i].Equal(want) {
+			t.Errorf("query %d (%s): batch %d pairs, serial %d pairs", i, q, got[i].Len(), want.Len())
+		}
+	}
+}
+
+func TestPublicSharedCacheAcrossEngines(t *testing.T) {
+	g := fig1(t)
+	cache := rtcshare.NewSharedCache()
+	a := rtcshare.NewEngineWithCache(g, rtcshare.Options{}, cache)
+	b := rtcshare.NewEngineWithCache(g, rtcshare.Options{}, cache)
+
+	if _, err := a.EvaluateQuery("d.(b.c)+.c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.EvaluateQuery("a.(b.c)+.b"); err != nil {
+		t.Fatal(err)
+	}
+	// Engine b must have reused a's RTC for (b.c).
+	if st := b.Stats(); st.CacheHits != 1 || st.CacheMisses != 0 {
+		t.Errorf("engine b stats = %+v, want the shared RTC reused (1 hit, 0 misses)", st)
+	}
+	var c rtcshare.CacheCounters = cache.Counters()
+	if c.Misses == 0 {
+		t.Errorf("cache counters = %+v, want at least one computation recorded", c)
+	}
+
+	// A fork of a shares the same cache.
+	f := a.Fork()
+	if _, err := f.EvaluateQuery("(b.c)+"); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.CacheHits != 1 {
+		t.Errorf("forked engine stats = %+v, want 1 hit", st)
+	}
+}
