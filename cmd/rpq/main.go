@@ -2,13 +2,21 @@
 //
 // Usage:
 //
-//	rpq -graph g.txt [-strategy rtc|full|no] [-stats] [-limit N] query...
+//	rpq -graph g.txt [-strategy rtc|full|no] [-planner heuristic|cost]
+//	    [-explain] [-stats] [-limit N] query...
 //
 // The graph file uses the text edge-list format ("src label dst" lines,
 // optional "%vertices N" directive). Each query is an RPQ such as
 // "d.(b.c)+.c"; '·' and '/' also work as concatenation operators. With
 // several queries, closure structures are shared between them exactly as
 // the engine shares them across a multiple-RPQ set.
+//
+// -planner cost enables the cost-based clause planner: every closure
+// anchor is considered in both join directions, plus a direct-automaton
+// bypass, priced by cardinality estimates from the graph's per-label
+// statistics. The default heuristic planner is the paper's pipeline
+// (rightmost closure, forward join). -explain prints each query's chosen
+// plan with estimated vs actual cardinalities (the query still runs).
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"rtcshare/internal/core"
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
+	"rtcshare/internal/plan"
 )
 
 func main() {
@@ -33,6 +42,8 @@ func run(args []string) error {
 	var (
 		graphPath = fs.String("graph", "", "path to the graph file (required)")
 		strategy  = fs.String("strategy", "rtc", "evaluation strategy: rtc, full or no")
+		planner   = fs.String("planner", "heuristic", "clause planner: heuristic (rightmost-forward) or cost")
+		explain   = fs.Bool("explain", false, "print each query's plan with estimated vs actual cardinalities")
 		stats     = fs.Bool("stats", false, "print the timing split and sharing statistics")
 		limit     = fs.Int("limit", 20, "print at most this many result pairs per query (0 = all)")
 		useDFA    = fs.Bool("dfa", false, "determinise query automata before traversal")
@@ -50,6 +61,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	mode, err := plan.ParseMode(*planner)
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Open(*graphPath)
 	if err != nil {
@@ -62,8 +77,16 @@ func run(args []string) error {
 	}
 	fmt.Printf("graph: %s\n", g.Stats())
 
-	engine := core.New(g, core.Options{Strategy: strat, UseDFA: *useDFA})
+	engine := core.New(g, core.Options{Strategy: strat, Planner: mode, UseDFA: *useDFA})
 	for _, q := range fs.Args() {
+		if *explain {
+			p, err := engine.ExplainAnalyzeQuery(q)
+			if err != nil {
+				return err
+			}
+			fmt.Print(p.String())
+			continue
+		}
 		res, err := engine.EvaluateQuery(q)
 		if err != nil {
 			return err

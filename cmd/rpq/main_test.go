@@ -41,12 +41,28 @@ func TestRunWithStatsAndLimit(t *testing.T) {
 	}
 }
 
+func TestRunExplainAndPlanner(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, planner := range []string{"heuristic", "cost"} {
+		if err := run([]string{"-graph", path, "-planner", planner, "-explain", "a.b+.c", "a.b"}); err != nil {
+			t.Errorf("planner %s: %v", planner, err)
+		}
+		if err := run([]string{"-graph", path, "-planner", planner, "a.b+.c"}); err != nil {
+			t.Errorf("planner %s evaluate: %v", planner, err)
+		}
+	}
+	if err := run([]string{"-graph", path, "-explain", "(("}); err == nil {
+		t.Error("explain on a parse error must fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeTestGraph(t)
 	cases := [][]string{
 		{},               // no -graph
 		{"-graph", path}, // no queries
 		{"-graph", path, "-strategy", "bogus", "a"},
+		{"-graph", path, "-planner", "bogus", "a"},
 		{"-graph", path, "(("}, // parse error
 		{"-graph", filepath.Join(t.TempDir(), "missing.txt"), "a"},
 	}

@@ -3,16 +3,24 @@
 // Usage:
 //
 //	rpqbench -experiment fig10a            # one experiment
+//	rpqbench -experiment planner           # cost-based vs rightmost planner
 //	rpqbench -experiment all               # everything (minutes)
 //	rpqbench -experiment all -paper        # the paper's full protocol (hours)
+//	rpqbench -experiment planner -json out.json   # structured report
 //	rpqbench -list                         # show the experiment registry
 //
 // Scale knobs (-scale, -sets, -rpqs, …) trade fidelity for time; the
 // default configuration reproduces every trend in minutes on a laptop.
 // See EXPERIMENTS.md for the recorded outputs.
+//
+// -json writes a structured report (experiment id, config, per-row wall
+// times, shared-structure sizes, plan choices) for experiments that
+// support it (planner, fig16), so successive BENCH_*.json artifacts form
+// a machine-readable perf trajectory; CI emits one per run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +48,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "override the dataset/workload seed")
 		verify     = fs.Bool("verify", false, "cross-check result counts across strategies")
 		workers    = fs.Int("workers", 0, "override the largest worker fan-out of the parallel sweep (fig16)")
+		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, fig16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +89,9 @@ func run(args []string) error {
 	cfg.Verify = cfg.Verify || *verify
 
 	if *experiment == "all" {
+		if *jsonPath != "" {
+			return fmt.Errorf("-json needs a single experiment, not 'all'")
+		}
 		return bench.RunAll(os.Stdout, cfg)
 	}
 	e, ok := bench.Lookup(*experiment)
@@ -87,5 +99,23 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q; try -list", *experiment)
 	}
 	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
-	return e.Run(os.Stdout, cfg)
+	if *jsonPath == "" {
+		return e.Run(os.Stdout, cfg)
+	}
+	if e.JSON == nil {
+		return fmt.Errorf("experiment %q has no structured report; -json supports planner and fig16", e.ID)
+	}
+	report, err := e.JSON(os.Stdout, cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(bench.JSONReport{Experiment: e.ID, Title: e.Title, Report: report}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *jsonPath)
+	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -25,11 +30,38 @@ func TestRunFigTiny(t *testing.T) {
 	}
 }
 
+func TestRunPlannerJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{
+		"-experiment", "planner", "-scale", "6", "-maxn", "1", "-sets", "1", "-rpqs", "2",
+		"-json", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Experiment string `json:"experiment"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("wrote invalid JSON: %v", err)
+	}
+	if report.Experiment != "planner" {
+		t.Errorf("experiment = %q, want planner", report.Experiment)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                       // no experiment
 		{"-experiment", "bogus"}, // unknown id
-		{"-experiment", "fig10a", "-scale", "99"}, // bad config
+		{"-experiment", "fig10a", "-scale", "99"},    // bad config
+		{"-experiment", "all", "-json", "x.json"},    // -json needs one experiment
+		{"-experiment", "table4", "-json", "x.json"}, // no structured report
+		{"-experiment", "planner", "-scale", "6", "-maxn", "1", "-sets", "1",
+			"-json", "/nonexistent-dir/x.json"}, // unwritable path
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {

@@ -22,19 +22,22 @@ import (
 // ParallelRow is one (strategy, workers) wall-clock measurement of the
 // parallel batch sweep.
 type ParallelRow struct {
-	Strategy core.Strategy
+	Strategy core.Strategy `json:"-"`
+	// Method is Strategy's name, for the JSON report.
+	Method string `json:"method"`
 	// Workers is the fan-out; 1 is the serial EvaluateSet baseline.
-	Workers int
+	Workers int `json:"workers"`
 	// Wall is the best-of-reps wall-clock for the whole batch.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Speedup is serial Wall / this Wall within the strategy.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// Computes and Hits are the merged engine cache counters: Computes
 	// is the number of shared structures actually built (CacheMisses),
 	// Hits the number of reuses.
-	Computes, Hits int
+	Computes int `json:"computes"`
+	Hits     int `json:"hits"`
 	// ResultPairs totals the result sizes — a cross-run sanity check.
-	ResultPairs int
+	ResultPairs int `json:"result_pairs"`
 }
 
 // ParallelSweep is the full fig16 measurement.
@@ -100,7 +103,7 @@ func RunParallelBatch(cfg RunConfig) (*ParallelSweep, error) {
 	for _, strategy := range []core.Strategy{core.NoSharing, core.FullSharing, core.RTCSharing} {
 		var serialWall time.Duration
 		for _, workers := range workerCounts {
-			row := ParallelRow{Strategy: strategy, Workers: workers}
+			row := ParallelRow{Strategy: strategy, Method: strategy.String(), Workers: workers}
 			for rep := 0; rep < parallelReps; rep++ {
 				engine := core.New(g, core.Options{Strategy: strategy})
 				start := time.Now()

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/workload"
+)
+
+// This file measures the plan/execute split: cost-based clause planning
+// (anchor selection, join direction, automaton bypass) against the
+// paper's fixed rightmost-forward pipeline, across RMAT datasets and
+// three workload families. "paper" is the paper's protocol (single-label
+// Pre and Post — symmetric, so the cost-based planner should match the
+// heuristic within noise); "selpost" lengthens Post to three labels
+// (selective destination side — backward joins and bypasses should win);
+// "selpre" lengthens Pre (selective source side — the forward default
+// should already be right, and cost-based must not regress it).
+
+// PlannerRow is one (dataset, family, planner) measurement.
+type PlannerRow struct {
+	Dataset string `json:"dataset"`
+	Family  string `json:"family"`
+	Planner string `json:"planner"`
+	// Queries is the batch size evaluated.
+	Queries int `json:"queries"`
+	// Wall is the best-of-reps wall-clock for the whole batch.
+	Wall   time.Duration `json:"wall_ns"`
+	WallMS float64       `json:"wall_ms"`
+	// Speedup is the heuristic wall over this wall within the cell.
+	Speedup float64 `json:"speedup"`
+	// SharedPairs totals the shared-structure sizes the run built.
+	SharedPairs int `json:"shared_pairs"`
+	// ResultPairs totals the result sizes — a cross-planner sanity check.
+	ResultPairs int `json:"result_pairs"`
+	// PlanChoices counts the physical operators the planner picked,
+	// keyed "shared/forward", "shared/backward", "automaton".
+	PlanChoices map[string]int `json:"plan_choices"`
+}
+
+// PlannerSweep is the full planner-experiment measurement.
+type PlannerSweep struct {
+	Config RunConfig    `json:"config"`
+	Rows   []PlannerRow `json:"rows"`
+}
+
+// plannerFamily is one workload shape of the experiment.
+type plannerFamily struct {
+	name            string
+	preLen, postLen int
+}
+
+func plannerFamilies() []plannerFamily {
+	return []plannerFamily{
+		{name: "paper", preLen: 1, postLen: 1},
+		{name: "selpost", preLen: 1, postLen: 3},
+		{name: "selpre", preLen: 3, postLen: 1},
+	}
+}
+
+// plannerReps is the best-of repetition count per cell, for the same
+// reason as parallelReps: laptop-scale wall-clocks are noisy.
+const plannerReps = 3
+
+// RunPlannerExperiment compares the cost-based planner against the
+// rightmost-decompose heuristic on RTCSharing across RMAT datasets ×
+// workload families. Result identity across planners is asserted — a
+// planner that changes answers is an error, not a slow row.
+func RunPlannerExperiment(cfg RunConfig) (*PlannerSweep, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	sweep := &PlannerSweep{Config: cfg}
+	for _, n := range plannerDatasets(cfg) {
+		g, err := datagen.PaperRMATN(n, cfg.ScaleExp, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		dataset := fmt.Sprintf("RMAT_%d", n)
+		for _, fam := range plannerFamilies() {
+			wcfg := workload.DefaultConfig(cfg.NumSets, cfg.Seed+int64(100*n))
+			wcfg.MaxRPQs = cfg.NumRPQs
+			wcfg.PreLength = fam.preLen
+			wcfg.PostLength = fam.postLen
+			sets, err := workload.Generate(g.Dict(), wcfg)
+			if err != nil {
+				return nil, err
+			}
+			var batch []rpq.Expr
+			for _, s := range sets {
+				batch = append(batch, s.Queries...)
+			}
+
+			rows, err := measurePlannerCell(g, batch, dataset, fam.name)
+			if err != nil {
+				return nil, err
+			}
+			sweep.Rows = append(sweep.Rows, rows...)
+		}
+	}
+	return sweep, nil
+}
+
+// plannerDatasets picks the RMAT_N series for the experiment: sparse,
+// medium and dense, bounded by the configured MaxN.
+func plannerDatasets(cfg RunConfig) []int {
+	var ns []int
+	for _, n := range []int{1, 3, 5} {
+		if n <= cfg.MaxN {
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) == 0 {
+		ns = []int{cfg.MaxN}
+	}
+	return ns
+}
+
+// measurePlannerCell times one (dataset, family) batch under both
+// planners and cross-checks the results.
+func measurePlannerCell(g *graph.Graph, batch []rpq.Expr, dataset, family string) ([]PlannerRow, error) {
+	modes := []struct {
+		name string
+		mode core.PlannerMode
+	}{
+		{"heuristic", core.PlannerHeuristic},
+		{"cost", core.PlannerCostBased},
+	}
+
+	rows := make([]PlannerRow, len(modes))
+	for i, m := range modes {
+		rows[i] = PlannerRow{
+			Dataset:     dataset,
+			Family:      family,
+			Planner:     m.name,
+			Queries:     len(batch),
+			PlanChoices: make(map[string]int),
+		}
+	}
+
+	// Timed phase: reps interleave the planners so drift (heap growth,
+	// frequency scaling) spreads evenly instead of biasing whichever
+	// mode runs last.
+	wantPairs := -1
+	for rep := 0; rep < plannerReps; rep++ {
+		for i, m := range modes {
+			row := &rows[i]
+			engine := core.New(g, core.Options{Strategy: core.RTCSharing, Planner: m.mode})
+			start := time.Now()
+			pairsTotal := 0
+			for _, q := range batch {
+				res, err := engine.Evaluate(q)
+				if err != nil {
+					return nil, fmt.Errorf("bench: planner %s/%s/%s: %w", dataset, family, m.name, err)
+				}
+				pairsTotal += res.Len()
+			}
+			wall := time.Since(start)
+			if wantPairs < 0 {
+				wantPairs = pairsTotal
+			} else if pairsTotal != wantPairs {
+				return nil, fmt.Errorf("bench: planner %s/%s/%s: result pairs %d, want %d — planner changed answers",
+					dataset, family, m.name, pairsTotal, wantPairs)
+			}
+			if rep == 0 || wall < row.Wall {
+				row.Wall = wall
+			}
+			row.ResultPairs = pairsTotal
+			row.SharedPairs = engine.SharedPairsTotal()
+		}
+	}
+
+	// Plan-choice census, after all timing: replay the batch with
+	// ExplainAnalyze on a fresh engine so the choices reflect the same
+	// evolving cache state the timed runs saw.
+	for i, m := range modes {
+		census := core.New(g, core.Options{Strategy: core.RTCSharing, Planner: m.mode})
+		for _, q := range batch {
+			p, err := census.ExplainAnalyze(q)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range p.Clauses {
+				key := c.Kind
+				if c.Kind == "shared" {
+					key = c.Kind + "/" + c.Direction
+				}
+				rows[i].PlanChoices[key]++
+			}
+		}
+		rows[i].WallMS = float64(rows[i].Wall) / float64(time.Millisecond)
+		rows[i].Speedup = ratio(rows[0].Wall, rows[i].Wall)
+	}
+	return rows, nil
+}
+
+// RenderPlanner prints the planner comparison.
+func (ps *PlannerSweep) RenderPlanner(w io.Writer) {
+	fmt.Fprintf(w, "Planner experiment (beyond the paper): cost-based vs rightmost-decompose, RTCSharing, #RPQs=%d × %d sets\n",
+		ps.Config.NumRPQs, ps.Config.NumSets)
+	fmt.Fprintf(w, "%-8s %-8s %-10s %8s %12s %9s %12s %12s  %s\n",
+		"dataset", "family", "planner", "queries", "wall_ms", "speedup", "shared", "result", "plan choices")
+	for _, r := range ps.Rows {
+		fmt.Fprintf(w, "%-8s %-8s %-10s %8d %12s %8.2fx %12d %12d  %v\n",
+			r.Dataset, r.Family, r.Planner, r.Queries, ms(r.Wall), r.Speedup, r.SharedPairs, r.ResultPairs, r.PlanChoices)
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlannerExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	sweep, err := RunPlannerExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxN = 2 keeps only RMAT_1 → 3 families × 2 planners.
+	if len(sweep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(sweep.Rows))
+	}
+	byCell := make(map[string][]PlannerRow)
+	for _, r := range sweep.Rows {
+		if r.Wall <= 0 || r.Queries != cfg.NumSets*cfg.NumRPQs {
+			t.Errorf("row %+v has bad wall/queries", r)
+		}
+		if len(r.PlanChoices) == 0 {
+			t.Errorf("row %s/%s/%s has no plan-choice census", r.Dataset, r.Family, r.Planner)
+		}
+		total := 0
+		for _, n := range r.PlanChoices {
+			total += n
+		}
+		if total < r.Queries {
+			t.Errorf("row %s/%s/%s censused %d clauses for %d queries", r.Dataset, r.Family, r.Planner, total, r.Queries)
+		}
+		byCell[r.Dataset+"/"+r.Family] = append(byCell[r.Dataset+"/"+r.Family], r)
+	}
+	// Within a cell, both planners must agree on result pairs — the
+	// harness itself errors otherwise, but double-check the rows.
+	for cell, rows := range byCell {
+		if len(rows) != 2 {
+			t.Fatalf("cell %s has %d rows", cell, len(rows))
+		}
+		if rows[0].ResultPairs != rows[1].ResultPairs {
+			t.Errorf("cell %s: planners disagree: %d vs %d pairs", cell, rows[0].ResultPairs, rows[1].ResultPairs)
+		}
+	}
+
+	var buf bytes.Buffer
+	sweep.RenderPlanner(&buf)
+	for _, want := range []string{"planner", "heuristic", "cost", "RMAT_1", "selpost", "selpre"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestPlannerJSONRoundTrips(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumSets = 1
+	var buf bytes.Buffer
+	e, ok := Lookup("planner")
+	if !ok || e.JSON == nil {
+		t.Fatal("planner experiment missing or without JSON support")
+	}
+	report, err := e.JSON(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(JSONReport{Experiment: e.ID, Title: e.Title, Report: report})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string `json:"experiment"`
+		Report     struct {
+			Rows []PlannerRow `json:"rows"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Experiment != "planner" || len(decoded.Report.Rows) == 0 {
+		t.Fatalf("decoded report malformed: %s", data)
+	}
+	for _, r := range decoded.Report.Rows {
+		if r.Planner == "" || r.WallMS <= 0 {
+			t.Errorf("decoded row malformed: %+v", r)
+		}
+	}
+}
+
+func TestPlannerDatasets(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxN = 6
+	if got := plannerDatasets(cfg); len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("datasets = %v, want [1 3 5]", got)
+	}
+	cfg.MaxN = 0
+	if got := plannerDatasets(cfg); len(got) != 1 || got[0] != 0 {
+		t.Errorf("datasets at MaxN=0 = %v, want [0]", got)
+	}
+}

@@ -13,6 +13,18 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer, cfg RunConfig) error
+	// JSON, when non-nil, runs the experiment once, renders its text to
+	// w, and returns a JSON-serialisable report (rpqbench -json).
+	JSON func(w io.Writer, cfg RunConfig) (any, error)
+}
+
+// JSONReport is the envelope rpqbench -json writes: the experiment
+// identity plus its structured rows, so successive BENCH_*.json files
+// form a comparable perf trajectory across commits.
+type JSONReport struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Report     any    `json:"report"`
 }
 
 // Experiments returns the registry of all reproducible tables/figures,
@@ -34,7 +46,8 @@ func Experiments() []Experiment {
 		{ID: "fig14b", Title: "Fig. 14(b): response time vs #RPQs, Advogato", Run: rpqSweep(false, (*RPQSweep).RenderFig14)},
 		{ID: "fig15a", Title: "Fig. 15(a): three-part split vs #RPQs, RMAT_3", Run: rpqSweep(true, (*RPQSweep).RenderFig15)},
 		{ID: "fig15b", Title: "Fig. 15(b): three-part split vs #RPQs, Advogato", Run: rpqSweep(false, (*RPQSweep).RenderFig15)},
-		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel},
+		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
+		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
@@ -69,12 +82,31 @@ func runTable3(w io.Writer, cfg RunConfig) error {
 }
 
 func runParallel(w io.Writer, cfg RunConfig) error {
+	_, err := jsonParallel(w, cfg)
+	return err
+}
+
+func jsonParallel(w io.Writer, cfg RunConfig) (any, error) {
 	ps, err := RunParallelBatch(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ps.RenderFig16(w)
-	return nil
+	return ps, nil
+}
+
+func runPlanner(w io.Writer, cfg RunConfig) error {
+	_, err := jsonPlanner(w, cfg)
+	return err
+}
+
+func jsonPlanner(w io.Writer, cfg RunConfig) (any, error) {
+	ps, err := RunPlannerExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ps.RenderPlanner(w)
+	return ps, nil
 }
 
 func runTable4(w io.Writer, cfg RunConfig) error {

@@ -20,17 +20,33 @@ import (
 // method performs) exactly follows Section IV-B; only the set data
 // structure is faster than a hash table.
 
-// srcBuckets groups the pairs of a relation by start vertex: the dsts of
-// src v are flat[offsets[v]:offsets[v+1]].
+// srcBuckets groups the pairs of a relation by one side: bucketed by
+// start vertex, the dsts of src v are flat[offsets[v]:offsets[v+1]];
+// bucketed by end vertex (bucketByDst), the roles swap.
 type srcBuckets struct {
 	offsets []int32
 	flat    []graph.VID
 }
 
 func bucketBySrc(numVertices int, rel *pairs.Set) srcBuckets {
+	return bucketPairs(numVertices, rel, false)
+}
+
+// bucketByDst groups a relation by end vertex: partners(v) returns the
+// start vertices of pairs ending at v. It is the index the backward join
+// walks Pre_G through.
+func bucketByDst(numVertices int, rel *pairs.Set) srcBuckets {
+	return bucketPairs(numVertices, rel, true)
+}
+
+func bucketPairs(numVertices int, rel *pairs.Set, byDst bool) srcBuckets {
 	offsets := make([]int32, numVertices+1)
-	rel.Each(func(src, _ graph.VID) bool {
-		offsets[src+1]++
+	rel.Each(func(src, dst graph.VID) bool {
+		if byDst {
+			offsets[dst+1]++
+		} else {
+			offsets[src+1]++
+		}
 		return true
 	})
 	for v := 0; v < numVertices; v++ {
@@ -39,8 +55,12 @@ func bucketBySrc(numVertices int, rel *pairs.Set) srcBuckets {
 	flat := make([]graph.VID, rel.Len())
 	cursor := make([]int32, numVertices)
 	rel.Each(func(src, dst graph.VID) bool {
-		flat[offsets[src]+cursor[src]] = dst
-		cursor[src]++
+		key, val := src, dst
+		if byDst {
+			key, val = dst, src
+		}
+		flat[offsets[key]+cursor[key]] = val
+		cursor[key]++
 		return true
 	})
 	return srcBuckets{offsets: offsets, flat: flat}
@@ -185,6 +205,127 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq
 	e.addPreJoin(time.Since(joinStart))
 
 	return e.joinPost(resEq9, post)
+}
+
+// EvalBatchUnitBackward is the mirror image of EvalBatchUnit, chosen by
+// the cost-based planner when Post_G is far more selective than Pre_G:
+// the join is driven from Post's start vertices through the *transposed*
+// RTC, and Pre_G — already materialised — is joined in last from the
+// destination side. The elimination structure is Algorithm 2's under
+// transposition: SCC collapses play the redundant-1/2 roles per distinct
+// result end vertex v_l, and member expansion needs no duplicate check.
+// Both relations arrive materialised, so unlike the forward path no
+// automaton is consulted during the join.
+func (e *Engine) EvalBatchUnitBackward(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketByDst(e.g.NumVertices(), postG)
+	numComps := structure.NumReducedVertices()
+	seen7 := newStampSet(numComps) // transposed ResEq7, per v_l
+	seen8 := newStampSet(numComps) // transposed ResEq8, per v_l
+
+	// resEq9 holds (v_l, v_j): the R{+,*} ⋈ Post_G tuples transposed,
+	// grouped by the result end vertex v_l.
+	var resEq9 []pairs.Pair
+	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
+		vks := buckets.dsts(vl)
+		if len(vks) == 0 {
+			continue
+		}
+		seen7.reset()
+		seen8.reset()
+		if typ == rpq.ClosureStar {
+			// Pre·R*·Post ⊇ Pre·Post: the zero-iteration paths join Pre
+			// directly to Post's start vertices (v_j = v_k).
+			for _, vk := range vks {
+				resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vk})
+			}
+		}
+		for _, vk := range vks {
+			sk := structure.CompOf(vk)
+			if sk < 0 {
+				continue // v_k ∉ V_R ends no R+ path
+			}
+			if !seen7.add(sk) {
+				continue
+			}
+			for _, sj := range structure.ReachableInto(sk) {
+				if !seen8.add(int32(sj)) {
+					continue
+				}
+				for _, vj := range structure.Members(int32(sj)) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPreBackward(resEq9, preG)
+}
+
+// EvalBatchUnitFullBackward is the backward join over the full closure:
+// pair-level enumeration through the transposed closure with duplicate
+// checks everywhere, exactly as EvalBatchUnitFull is the pair-level
+// forward join.
+func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketByDst(e.g.NumVertices(), postG)
+	seenV := newStampSet(e.g.NumVertices())
+
+	var resEq9 []pairs.Pair
+	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
+		vks := buckets.dsts(vl)
+		if len(vks) == 0 {
+			continue
+		}
+		seenV.reset()
+		if typ == rpq.ClosureStar {
+			for _, vk := range vks {
+				if seenV.add(vk) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vk})
+				}
+			}
+		}
+		for _, vk := range vks {
+			for _, vj := range closure.Into(vk) {
+				if seenV.add(vj) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPreBackward(resEq9, preG)
+}
+
+// joinPreBackward finishes a backward batch unit: resEq9 holds (v_l,
+// v_j) tuples grouped by v_l, and every Pre_G tuple (v_i, v_j) extends
+// one to a result (v_i, v_l). Like the forward joinPost this is
+// Remainder time (the strategies share it identically); the duplicate
+// check on v_i per v_l mirrors joinPost's on v_l per v_i.
+func (e *Engine) joinPreBackward(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.Set, error) {
+	t0 := time.Now()
+	defer func() { e.addRemainder(time.Since(t0)) }()
+
+	preByDst := bucketByDst(e.g.NumVertices(), preG)
+	resEq10 := pairs.NewSet()
+	seenVi := newStampSet(e.g.NumVertices())
+	for i := 0; i < len(resEq9); {
+		vl := resEq9[i].Src
+		seenVi.reset()
+		for ; i < len(resEq9) && resEq9[i].Src == vl; i++ {
+			vj := resEq9[i].Dst
+			for _, vi := range preByDst.dsts(vj) {
+				if seenVi.add(vi) {
+					resEq10.Add(vi, vl)
+				}
+			}
+		}
+	}
+	return resEq10, nil
 }
 
 // joinPost implements equations (9)→(10) — Algorithm 2 lines 13–16: for

@@ -92,6 +92,7 @@ func TestDifferentialStrategiesMatchReference(t *testing.T) {
 	if len(cases) < 20 {
 		t.Fatalf("only %d graph/workload combinations, want ≥ 20", len(cases))
 	}
+	planners := []PlannerMode{PlannerHeuristic, PlannerCostBased}
 	for _, c := range cases {
 		g := c.graph(t)
 		qs := c.queries(t, g.Dict())
@@ -102,30 +103,39 @@ func TestDifferentialStrategiesMatchReference(t *testing.T) {
 			want[i] = eval.Reference(g, q)
 		}
 
+		// Every strategy × planner combination must agree with the
+		// oracle: the cost-based planner may pick different anchors,
+		// backward joins or automaton bypasses, but never different
+		// results.
 		for _, strategy := range strategies() {
-			engine := New(g, Options{Strategy: strategy})
-			for i, q := range qs {
-				got, err := engine.Evaluate(q)
-				if err != nil {
-					t.Fatalf("seed %d/%d %v: evaluate %q: %v", c.graphSeed, c.workSeed, strategy, q, err)
-				}
-				if !got.Equal(want[i]) {
-					t.Errorf("seed %d/%d %v: %q: engine %d pairs, reference %d pairs",
-						c.graphSeed, c.workSeed, strategy, q, got.Len(), want[i].Len())
+			for _, planner := range planners {
+				engine := New(g, Options{Strategy: strategy, Planner: planner})
+				for i, q := range qs {
+					got, err := engine.Evaluate(q)
+					if err != nil {
+						t.Fatalf("seed %d/%d %v/%v: evaluate %q: %v", c.graphSeed, c.workSeed, strategy, planner, q, err)
+					}
+					if !got.Equal(want[i]) {
+						t.Errorf("seed %d/%d %v/%v: %q: engine %d pairs, reference %d pairs",
+							c.graphSeed, c.workSeed, strategy, planner, q, got.Len(), want[i].Len())
+					}
 				}
 			}
 		}
 
-		// The parallel path must agree with the same oracle.
-		engine := New(g, Options{})
-		got, err := engine.EvaluateBatchParallel(qs, 4)
-		if err != nil {
-			t.Fatalf("seed %d/%d parallel: %v", c.graphSeed, c.workSeed, err)
-		}
-		for i := range qs {
-			if !got[i].Equal(want[i]) {
-				t.Errorf("seed %d/%d parallel: %q: got %d pairs, reference %d pairs",
-					c.graphSeed, c.workSeed, qs[i], got[i].Len(), want[i].Len())
+		// The parallel path must agree with the same oracle under both
+		// planners.
+		for _, planner := range planners {
+			engine := New(g, Options{Planner: planner})
+			got, err := engine.EvaluateBatchParallel(qs, 4)
+			if err != nil {
+				t.Fatalf("seed %d/%d parallel/%v: %v", c.graphSeed, c.workSeed, planner, err)
+			}
+			for i := range qs {
+				if !got[i].Equal(want[i]) {
+					t.Errorf("seed %d/%d parallel/%v: %q: got %d pairs, reference %d pairs",
+						c.graphSeed, c.workSeed, planner, qs[i], got[i].Len(), want[i].Len())
+				}
 			}
 		}
 	}

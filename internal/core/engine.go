@@ -39,6 +39,7 @@ import (
 	"rtcshare/internal/eval"
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
+	"rtcshare/internal/plan"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
 )
@@ -67,10 +68,26 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// PlannerMode selects how DNF clauses are planned before execution.
+type PlannerMode = plan.Mode
+
+const (
+	// PlannerHeuristic is the paper's fixed pipeline: rightmost closure
+	// anchor, forward join. This is the default.
+	PlannerHeuristic = plan.Heuristic
+	// PlannerCostBased enumerates every closure anchor in both join
+	// directions plus the direct-automaton bypass and picks the cheapest
+	// by estimated cardinality.
+	PlannerCostBased = plan.CostBased
+)
+
 // Options configure an Engine.
 type Options struct {
 	// Strategy selects the evaluation method. Default: RTCSharing.
 	Strategy Strategy
+	// Planner selects heuristic (the paper's rightmost-forward pipeline)
+	// or cost-based clause planning. Default: PlannerHeuristic.
+	Planner PlannerMode
 	// TCAlgo selects the transitive-closure algorithm used on the
 	// (reduced) graph. Default: BFS, matching Table III.
 	TCAlgo rtc.TCAlgorithm
@@ -166,6 +183,12 @@ type Engine struct {
 	// returns it when done.
 	evalMu   sync.Mutex
 	evalFree map[string][]*eval.Evaluator
+
+	// plannerOnce/qplanner hold the lazily built clause planner. The
+	// planner itself is immutable; its cached-structure callback reads
+	// the (locked) SharedCache at plan time.
+	plannerOnce sync.Once
+	qplanner    *plan.Planner
 }
 
 // New returns an Engine over g with a private SharedCache.
@@ -361,4 +384,36 @@ func (e *Engine) maxClauses() int {
 		return e.opts.MaxDNFClauses
 	}
 	return rpq.DefaultMaxClauses
+}
+
+// planner returns the engine's clause planner, building it on first use.
+// The cached-structure probe makes sunk closure costs visible to the
+// cost model, so a warm cache biases the planner toward anchors whose
+// structures already exist.
+func (e *Engine) planner() *plan.Planner {
+	e.plannerOnce.Do(func() {
+		e.qplanner = plan.New(e.g, plan.Config{
+			Mode:         e.opts.Planner,
+			SharedCached: e.sharedStructureCached,
+		})
+	})
+	return e.qplanner
+}
+
+// sharedStructureCached reports whether the shared closure structure for
+// r is already in the cache under this engine's strategy. Non-caching
+// engines (NoSharing, DisableCache) never have sunk structures.
+func (e *Engine) sharedStructureCached(r rpq.Expr) bool {
+	if !e.shouldCache() {
+		return false
+	}
+	key := r.String()
+	switch e.opts.Strategy {
+	case RTCSharing:
+		_, ok := e.cache.Lookup(nsRTC + key)
+		return ok
+	default:
+		_, ok := e.cache.Lookup(nsFull + key)
+		return ok
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rtcshare/internal/pairs"
+	"rtcshare/internal/plan"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
 	"rtcshare/internal/tc"
@@ -30,65 +31,63 @@ type fullValue struct {
 	summary SharedSummary
 }
 
+// clauseActuals records what one clause execution really did, for the
+// estimated-vs-actual comparison EXPLAIN ANALYZE reports. Pre and Post
+// are -1 when that side was not materialised as a relation.
+type clauseActuals struct {
+	Result    int
+	Pre, Post int
+	Elapsed   time.Duration
+}
+
+// planObserver captures the chosen plan and per-clause actuals of one
+// evaluation; evaluateSharing passes nil and skips all bookkeeping.
+type planObserver struct {
+	plan    *plan.QueryPlan
+	actuals []clauseActuals
+}
+
 // evaluateSharing implements Algorithm 1 (RTCSharing) and its FullSharing
-// counterpart: convert the query to DNF treating outermost Kleene
-// closures as literals, evaluate each clause as a batch unit, share the
-// closure structure of the rightmost Kleene sub-query R across batch
-// units, and union the clause results.
+// counterpart, split into plan → execute: convert the query to DNF
+// treating outermost Kleene closures as literals, plan each clause
+// (anchor closure, join direction, shared-structure vs direct
+// automaton), execute the clause plans, and union the results. Under the
+// default heuristic planner the plans are exactly Algorithm 1's —
+// rightmost closure, forward join — so the paper's pipeline is the
+// special case the cost-based mode deviates from only on estimated wins.
 func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
+	return e.evaluatePlanned(q, nil)
+}
+
+func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Set, error) {
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
-	e.addRemainder(time.Since(start))
 	if err != nil {
+		e.addRemainder(time.Since(start))
 		return nil, err
+	}
+	// Planning time counts as Remainder: every strategy plans
+	// identically, like the DNF conversion itself.
+	qp := e.planner().Plan(q, clauses)
+	e.addRemainder(time.Since(start))
+	if obs != nil {
+		obs.plan = qp
+		obs.actuals = make([]clauseActuals, len(qp.Clauses))
 	}
 
 	var result *pairs.Set
-	for _, clause := range clauses {
-		bu := rpq.Decompose(clause)
-		var clauseG *pairs.Set
-		if bu.Type == rpq.ClosureNone {
-			// Line 6: the clause has no Kleene closure.
-			t0 := time.Now()
-			ev, key := e.acquireEvaluator(bu.Post)
-			clauseG = ev.EvaluateAll()
-			e.releaseEvaluator(key, ev)
-			e.addRemainder(time.Since(t0))
-		} else {
-			// Line 8: Pre is evaluated recursively (it may contain
-			// further Kleene closures).
-			preG, err := e.subEvaluate(bu.Pre)
-			if err != nil {
-				return nil, err
-			}
-			switch e.opts.Strategy {
-			case RTCSharing:
-				r, err := e.getRTC(bu.R)
-				if err != nil {
-					return nil, err
-				}
-				clauseG, err = e.EvalBatchUnit(preG, r, bu.Type, bu.Post)
-				if err != nil {
-					return nil, err
-				}
-			case FullSharing, NoSharing:
-				// NoSharing runs the identical per-query pipeline —
-				// evaluate R, materialise the closure R+_G, join — but
-				// shouldCache() below keeps it from reusing anything
-				// across queries, which is exactly the paper's baseline
-				// behaviour (at one query it costs the same as
-				// FullSharing; Fig. 14).
-				closure, err := e.getFullClosure(bu.R)
-				if err != nil {
-					return nil, err
-				}
-				clauseG, err = e.EvalBatchUnitFull(preG, closure, bu.Type, bu.Post)
-				if err != nil {
-					return nil, err
-				}
-			}
-		}
+	for i := range qp.Clauses {
 		t0 := time.Now()
+		clauseG, act, err := e.execClause(&qp.Clauses[i])
+		if err != nil {
+			return nil, err
+		}
+		if obs != nil {
+			act.Result = clauseG.Len()
+			act.Elapsed = time.Since(t0)
+			obs.actuals[i] = act
+		}
+		t0 = time.Now()
 		if result == nil {
 			// First clause: adopt its (fresh) result set instead of
 			// copying it pair by pair. With a single-clause DNF — the
@@ -103,6 +102,79 @@ func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 		result = pairs.NewSet()
 	}
 	return result, nil
+}
+
+// execClause executes one planned clause. It is the executor half of the
+// plan/execute split: all physical decisions were made by the planner,
+// and this switch only dispatches them.
+func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, error) {
+	act := clauseActuals{Pre: -1, Post: -1}
+
+	if cp.Kind == plan.KindAutomaton {
+		// Algorithm 1 line 6 (closure-free clause) and the planner's
+		// bypass for selective closure clauses: one product traversal,
+		// seeded with the first-step candidates when admissible.
+		t0 := time.Now()
+		ev, key := e.acquireEvaluator(cp.Clause)
+		clauseG := ev.EvaluateAllSeeded()
+		e.releaseEvaluator(key, ev)
+		e.addRemainder(time.Since(t0))
+		return clauseG, act, nil
+	}
+
+	// Algorithm 1 line 8: the side relations evaluate recursively (they
+	// may contain further Kleene closures when the anchor is not the
+	// rightmost closure).
+	bu := cp.Unit
+	preG, err := e.subEvaluate(bu.Pre)
+	if err != nil {
+		return nil, act, err
+	}
+	act.Pre = preG.Len()
+
+	var postG *pairs.Set
+	if cp.Direction == plan.Backward {
+		if postG, err = e.subEvaluate(bu.Post); err != nil {
+			return nil, act, err
+		}
+		act.Post = postG.Len()
+	}
+
+	var clauseG *pairs.Set
+	switch e.opts.Strategy {
+	case RTCSharing:
+		r, err := e.getRTC(bu.R)
+		if err != nil {
+			return nil, act, err
+		}
+		if cp.Direction == plan.Backward {
+			clauseG, err = e.EvalBatchUnitBackward(preG, r, bu.Type, postG)
+		} else {
+			clauseG, err = e.EvalBatchUnit(preG, r, bu.Type, bu.Post)
+		}
+		if err != nil {
+			return nil, act, err
+		}
+	case FullSharing, NoSharing:
+		// NoSharing runs the identical per-query pipeline — evaluate R,
+		// materialise the closure R+_G, join — but shouldCache() keeps it
+		// from reusing anything across queries, which is exactly the
+		// paper's baseline behaviour (at one query it costs the same as
+		// FullSharing; Fig. 14).
+		closure, err := e.getFullClosure(bu.R)
+		if err != nil {
+			return nil, act, err
+		}
+		if cp.Direction == plan.Backward {
+			clauseG, err = e.EvalBatchUnitFullBackward(preG, closure, bu.Type, postG)
+		} else {
+			clauseG, err = e.EvalBatchUnitFull(preG, closure, bu.Type, bu.Post)
+		}
+		if err != nil {
+			return nil, act, err
+		}
+	}
+	return clauseG, act, nil
 }
 
 // subEvaluate evaluates a sub-query (Pre or R) with the engine's own

@@ -45,6 +45,12 @@ type Evaluator struct {
 	stamp      []uint32
 	generation uint32
 	stack      []prodState
+
+	// seeds caches the first-step candidate start set for
+	// EvaluateAllSeeded; seedsOK records whether seeding is admissible.
+	seeds     []graph.VID
+	seedsOK   bool
+	seedsInit bool
 }
 
 type prodState struct {

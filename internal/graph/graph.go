@@ -43,6 +43,44 @@ type Graph struct {
 	// fwd[l] holds the forward adjacency of label l; rev[l] the reverse.
 	fwd []adjacency
 	rev []adjacency
+
+	// labelStats[l] summarises label l's edge relation; computed once in
+	// Build so the query planner's cardinality estimator is free at plan
+	// time.
+	labelStats []LabelStats
+}
+
+// LabelStats summarises one label's edge relation — the base statistics
+// the cardinality estimator of internal/plan builds on. All counts are
+// computed once at Build time.
+type LabelStats struct {
+	// Edges is the number of edges carrying the label.
+	Edges int
+	// DistinctSrcs / DistinctDsts count the vertices with at least one
+	// outgoing / incoming edge of this label (the distinct-source and
+	// distinct-sink cardinalities of the label relation).
+	DistinctSrcs, DistinctDsts int
+	// MaxOutDegree / MaxInDegree are the per-vertex degree maxima — the
+	// tails of the out- and in-degree distributions, which mark labels
+	// whose fan-out makes joins explode past the uniform estimate.
+	MaxOutDegree, MaxInDegree int
+}
+
+// AvgOutDegree returns Edges/DistinctSrcs: the mean fan-out of a vertex
+// that has this label at all.
+func (s LabelStats) AvgOutDegree() float64 {
+	if s.DistinctSrcs == 0 {
+		return 0
+	}
+	return float64(s.Edges) / float64(s.DistinctSrcs)
+}
+
+// AvgInDegree returns Edges/DistinctDsts, the mean fan-in.
+func (s LabelStats) AvgInDegree() float64 {
+	if s.DistinctDsts == 0 {
+		return 0
+	}
+	return float64(s.Edges) / float64(s.DistinctDsts)
 }
 
 // adjacency is a CSR slice: neighbors of vertex v are
@@ -113,6 +151,16 @@ func (g *Graph) LabelEdgeCount(label LID) int {
 		return 0
 	}
 	return len(g.fwd[label].targets)
+}
+
+// LabelStats returns the Build-time statistics of the given label's edge
+// relation. Unknown labels report the zero statistics (the empty
+// relation).
+func (g *Graph) LabelStats(label LID) LabelStats {
+	if label < 0 || int(label) >= len(g.labelStats) {
+		return LabelStats{}
+	}
+	return g.labelStats[label]
 }
 
 // Edges calls fn for every edge in the graph in (label, src, dst) order.
@@ -260,8 +308,34 @@ func (b *Builder) Build() *Graph {
 		})
 		g.rev[l] = buildCSR(b.numVertices, es, true)
 	}
+	g.labelStats = computeLabelStats(b.numVertices, g.fwd, g.rev)
 	b.edges = nil
 	return g
+}
+
+// computeLabelStats derives the per-label statistics from the frozen CSR
+// adjacencies: one O(|V|) offset scan per label.
+func computeLabelStats(numVertices int, fwd, rev []adjacency) []LabelStats {
+	stats := make([]LabelStats, len(fwd))
+	for l := range fwd {
+		s := &stats[l]
+		s.Edges = len(fwd[l].targets)
+		for v := 0; v < numVertices; v++ {
+			if d := fwd[l].degree(VID(v)); d > 0 {
+				s.DistinctSrcs++
+				if d > s.MaxOutDegree {
+					s.MaxOutDegree = d
+				}
+			}
+			if d := rev[l].degree(VID(v)); d > 0 {
+				s.DistinctDsts++
+				if d > s.MaxInDegree {
+					s.MaxInDegree = d
+				}
+			}
+		}
+	}
+	return stats
 }
 
 func dedupEdges(es []Edge) []Edge {

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLabelStatsSmall(t *testing.T) {
+	b := NewBuilder(5)
+	// a: 0→1, 0→2, 3→2   (srcs {0,3}, dsts {1,2}, max out 2, max in 2)
+	b.MustAddEdge(0, "a", 1)
+	b.MustAddEdge(0, "a", 2)
+	b.MustAddEdge(3, "a", 2)
+	// b: 4→4             (self loop: one src, one dst)
+	b.MustAddEdge(4, "b", 4)
+	g := b.Build()
+
+	la, _ := g.Dict().Lookup("a")
+	sa := g.LabelStats(la)
+	if sa.Edges != 3 || sa.DistinctSrcs != 2 || sa.DistinctDsts != 2 {
+		t.Errorf("a stats = %+v, want 3 edges, 2 srcs, 2 dsts", sa)
+	}
+	if sa.MaxOutDegree != 2 || sa.MaxInDegree != 2 {
+		t.Errorf("a degree maxima = %+v, want max out 2, max in 2", sa)
+	}
+	if got := sa.AvgOutDegree(); got != 1.5 {
+		t.Errorf("a AvgOutDegree = %v, want 1.5", got)
+	}
+
+	lb, _ := g.Dict().Lookup("b")
+	sb := g.LabelStats(lb)
+	if sb.Edges != 1 || sb.DistinctSrcs != 1 || sb.DistinctDsts != 1 {
+		t.Errorf("b stats = %+v, want 1/1/1", sb)
+	}
+
+	// Out-of-range labels report the empty relation.
+	if got := g.LabelStats(99); got != (LabelStats{}) {
+		t.Errorf("unknown label stats = %+v, want zero", got)
+	}
+	if got := g.LabelStats(-1); got != (LabelStats{}) {
+		t.Errorf("negative label stats = %+v, want zero", got)
+	}
+	if zero := (LabelStats{}); zero.AvgOutDegree() != 0 || zero.AvgInDegree() != 0 {
+		t.Error("zero stats must have zero average degrees")
+	}
+}
+
+// TestLabelStatsAgreeWithEnumeration cross-checks the Build-time counts
+// against a brute-force pass over Successors/Predecessors on random
+// multigraphs.
+func TestLabelStatsAgreeWithEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		labels := []string{"a", "b", "c"}[:1+rng.Intn(3)]
+		b := NewBuilder(n)
+		for _, l := range labels {
+			b.Dict().Intern(l)
+		}
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.MustAddEdge(VID(rng.Intn(n)), labels[rng.Intn(len(labels))], VID(rng.Intn(n)))
+		}
+		g := b.Build()
+
+		for l := 0; l < g.NumLabels(); l++ {
+			var want LabelStats
+			for v := 0; v < n; v++ {
+				if d := len(g.Successors(VID(v), LID(l))); d > 0 {
+					want.Edges += d
+					want.DistinctSrcs++
+					if d > want.MaxOutDegree {
+						want.MaxOutDegree = d
+					}
+				}
+				if d := len(g.Predecessors(VID(v), LID(l))); d > 0 {
+					want.DistinctDsts++
+					if d > want.MaxInDegree {
+						want.MaxInDegree = d
+					}
+				}
+			}
+			if got := g.LabelStats(LID(l)); got != want {
+				t.Fatalf("trial %d label %d: stats %+v, want %+v", trial, l, got, want)
+			}
+			if got, want := g.LabelStats(LID(l)).Edges, g.LabelEdgeCount(LID(l)); got != want {
+				t.Fatalf("trial %d label %d: Edges %d != LabelEdgeCount %d", trial, l, got, want)
+			}
+		}
+	}
+}

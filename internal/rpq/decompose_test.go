@@ -1,0 +1,178 @@
+package rpq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtcshare/internal/fixtures"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/workload"
+)
+
+// legacyDecompose is the pre-DecomposeAll implementation of Decompose,
+// kept verbatim as the reference: scan the clause right-to-left and split
+// at the first (i.e. rightmost) outermost Kleene closure. The satellite
+// guarantee is that the thin wrapper over DecomposeAll reproduces it
+// exactly.
+func legacyDecompose(clause rpq.Expr) rpq.BatchUnit {
+	var parts []rpq.Expr
+	switch c := clause.(type) {
+	case rpq.Concat:
+		parts = c.Parts
+	default:
+		parts = []rpq.Expr{clause}
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		switch lit := parts[i].(type) {
+		case rpq.Plus:
+			return rpq.BatchUnit{
+				Pre:  rpq.NewConcat(parts[:i]...),
+				R:    lit.Sub,
+				Type: rpq.ClosurePlus,
+				Post: rpq.NewConcat(parts[i+1:]...),
+			}
+		case rpq.Star:
+			return rpq.BatchUnit{
+				Pre:  rpq.NewConcat(parts[:i]...),
+				R:    lit.Sub,
+				Type: rpq.ClosureStar,
+				Post: rpq.NewConcat(parts[i+1:]...),
+			}
+		}
+	}
+	return rpq.BatchUnit{Pre: rpq.Epsilon{}, R: rpq.Epsilon{}, Type: rpq.ClosureNone, Post: clause}
+}
+
+func sameSplit(a, b rpq.BatchUnit) bool {
+	return a.Pre.String() == b.Pre.String() &&
+		a.R.String() == b.R.String() &&
+		a.Type == b.Type &&
+		a.Post.String() == b.Post.String()
+}
+
+// decomposeClauses yields every DNF clause of every query of the full
+// fixture workloads (the Fig. 1 label alphabet across many seeds and R
+// lengths, both + and * variants) plus random expressions over the same
+// alphabet.
+func decomposeClauses(t *testing.T) []rpq.Expr {
+	t.Helper()
+	dict := fixtures.Figure1().Dict()
+	var clauses []rpq.Expr
+	for _, star := range []bool{false, true} {
+		for seed := int64(0); seed < 8; seed++ {
+			cfg := workload.DefaultConfig(6, 1000+seed)
+			cfg.Star = star
+			sets, err := workload.Generate(dict, cfg)
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			for _, s := range sets {
+				for _, q := range s.Queries {
+					cs, err := rpq.ToDNF(q)
+					if err != nil {
+						t.Fatalf("ToDNF(%q): %v", q, err)
+					}
+					clauses = append(clauses, cs...)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	labels := dict.Names()
+	for i := 0; i < 200; i++ {
+		cs, err := rpq.ToDNF(rpq.RandomExpr(rng, labels, 3))
+		if err != nil {
+			continue
+		}
+		clauses = append(clauses, cs...)
+	}
+	return clauses
+}
+
+// TestDecomposeWrapperMatchesLegacy pins the satellite guarantee: the
+// DecomposeAll-based wrapper produces exactly the rightmost split the
+// original implementation produced, on the full fixture workloads.
+func TestDecomposeWrapperMatchesLegacy(t *testing.T) {
+	clauses := decomposeClauses(t)
+	if len(clauses) < 500 {
+		t.Fatalf("only %d clauses; workload generation shrank", len(clauses))
+	}
+	for _, c := range clauses {
+		got, want := rpq.Decompose(c), legacyDecompose(c)
+		if !sameSplit(got, want) {
+			t.Fatalf("Decompose(%q) = %v, legacy = %v", c, got, want)
+		}
+	}
+}
+
+func TestDecomposeAllProperties(t *testing.T) {
+	for _, c := range decomposeClauses(t) {
+		units := rpq.DecomposeAll(c)
+		if len(units) == 0 {
+			t.Fatalf("DecomposeAll(%q) returned no units", c)
+		}
+		for i, u := range units {
+			if u.Type == rpq.ClosureNone {
+				if len(units) != 1 || u.Anchor != -1 {
+					t.Fatalf("DecomposeAll(%q): ClosureNone unit %d in %d-unit list (anchor %d)", c, i, len(units), u.Anchor)
+				}
+				continue
+			}
+			if u.Anchor != i {
+				t.Fatalf("DecomposeAll(%q): unit %d has anchor %d", c, i, u.Anchor)
+			}
+			// Reassembling Pre·R{type}·Post must reproduce the clause.
+			var mid rpq.Expr
+			if u.Type == rpq.ClosurePlus {
+				mid = rpq.Plus{Sub: u.R}
+			} else {
+				mid = rpq.Star{Sub: u.R}
+			}
+			if re := rpq.NewConcat(u.Pre, mid, u.Post); re.String() != c.String() {
+				t.Fatalf("DecomposeAll(%q): unit %d reassembles to %q", c, i, re)
+			}
+		}
+		// The rightmost candidate is the only one with a closure-free Post,
+		// and the wrapper returns it.
+		last := units[len(units)-1]
+		if rpq.HasKleene(last.Post) {
+			t.Fatalf("DecomposeAll(%q): rightmost Post %q has a closure", c, last.Post)
+		}
+		if !sameSplit(rpq.Decompose(c), last) {
+			t.Fatalf("Decompose(%q) is not the rightmost DecomposeAll candidate", c)
+		}
+	}
+}
+
+// TestDecomposeAllEnumeratesEveryClosure spot-checks the enumeration on
+// clauses with several closures.
+func TestDecomposeAllEnumeratesEveryClosure(t *testing.T) {
+	cases := []struct {
+		clause string
+		splits []string // "Pre|R|Type|Post" per candidate, left to right
+	}{
+		{"a", []string{"ε|ε|NULL|a"}},
+		{"a+", []string{"ε|a|+|ε"}},
+		{"a+.b.c", []string{"ε|a|+|b.c"}},
+		{"a+.b+.c", []string{"ε|a|+|b+.c", "a+|b|+|c"}},
+		{"(a.b)*.b+.(a.b+.c)+", []string{
+			"ε|a.b|*|b+.(a.b+.c)+",
+			"(a.b)*|b|+|(a.b+.c)+",
+			"(a.b)*.b+|a.b+.c|+|ε",
+		}},
+	}
+	for _, tc := range cases {
+		units := rpq.DecomposeAll(rpq.MustParse(tc.clause))
+		if len(units) != len(tc.splits) {
+			t.Errorf("DecomposeAll(%q): %d units, want %d", tc.clause, len(units), len(tc.splits))
+			continue
+		}
+		for i, u := range units {
+			got := fmt.Sprintf("%s|%s|%s|%s", u.Pre, u.R, u.Type, u.Post)
+			if got != tc.splits[i] {
+				t.Errorf("DecomposeAll(%q)[%d] = %s, want %s", tc.clause, i, got, tc.splits[i])
+			}
+		}
+	}
+}

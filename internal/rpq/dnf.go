@@ -139,20 +139,32 @@ func (t ClosureType) String() string {
 
 // BatchUnit is a decomposed DNF clause in the form Pre·R{+,*}·Post
 // (Section IV-A). When Type is ClosureNone, Pre and R are ε and Post is
-// the entire clause; otherwise R{Type} is the rightmost outermost Kleene
-// closure of the clause and Post contains no Kleene closure.
+// the entire clause; otherwise R{Type} is one outermost Kleene closure of
+// the clause — the rightmost one for Decompose, any candidate for
+// DecomposeAll. Anchor is the index of that closure among the clause's
+// outermost closures in left-to-right order (-1 for ClosureNone), so a
+// planner can identify which split it chose.
 type BatchUnit struct {
-	Pre  Expr
-	R    Expr
-	Type ClosureType
-	Post Expr
+	Pre    Expr
+	R      Expr
+	Type   ClosureType
+	Post   Expr
+	Anchor int
 }
 
-// Decompose implements DecomposeCL (Algorithm 1 line 4) on a DNF clause.
+// DecomposeAll enumerates every batch-unit split of a DNF clause: one
+// BatchUnit per outermost Kleene closure, in left-to-right order, each
+// anchored at that closure with Pre the parts to its left and Post the
+// parts to its right. Only the rightmost candidate has a closure-free
+// Post — the invariant Algorithm 1 relies on. The other candidates'
+// Posts may contain closures; executors handle them by evaluating Post
+// recursively — as a relation on the backward path, or through the
+// automaton-product evaluator (which supports closures) on the forward
+// path. A clause without closures yields the single ClosureNone unit.
 // The clause must be a concatenation of literals as produced by ToDNF;
-// Decompose panics on alternations or optionals, which cannot occur in a
-// DNF clause.
-func Decompose(clause Expr) BatchUnit {
+// DecomposeAll panics on alternations or optionals, which cannot occur
+// in a DNF clause.
+func DecomposeAll(clause Expr) []BatchUnit {
 	var parts []Expr
 	switch c := clause.(type) {
 	case Concat:
@@ -160,29 +172,42 @@ func Decompose(clause Expr) BatchUnit {
 	default:
 		parts = []Expr{clause}
 	}
-	for i := len(parts) - 1; i >= 0; i-- {
-		switch lit := parts[i].(type) {
+	var units []BatchUnit
+	for i, part := range parts {
+		var (
+			sub Expr
+			typ ClosureType
+		)
+		switch lit := part.(type) {
 		case Plus:
-			return BatchUnit{
-				Pre:  NewConcat(parts[:i]...),
-				R:    lit.Sub,
-				Type: ClosurePlus,
-				Post: NewConcat(parts[i+1:]...),
-			}
+			sub, typ = lit.Sub, ClosurePlus
 		case Star:
-			return BatchUnit{
-				Pre:  NewConcat(parts[:i]...),
-				R:    lit.Sub,
-				Type: ClosureStar,
-				Post: NewConcat(parts[i+1:]...),
-			}
+			sub, typ = lit.Sub, ClosureStar
 		case Label, Epsilon:
-			// keep scanning left
+			continue
 		default:
-			panic(fmt.Sprintf("rpq: Decompose on non-DNF clause %q (part %q)", clause, parts[i]))
+			panic(fmt.Sprintf("rpq: DecomposeAll on non-DNF clause %q (part %q)", clause, part))
 		}
+		units = append(units, BatchUnit{
+			Pre:    NewConcat(parts[:i]...),
+			R:      sub,
+			Type:   typ,
+			Post:   NewConcat(parts[i+1:]...),
+			Anchor: len(units),
+		})
 	}
-	return BatchUnit{Pre: Epsilon{}, R: Epsilon{}, Type: ClosureNone, Post: clause}
+	if len(units) == 0 {
+		return []BatchUnit{{Pre: Epsilon{}, R: Epsilon{}, Type: ClosureNone, Post: clause, Anchor: -1}}
+	}
+	return units
+}
+
+// Decompose implements DecomposeCL (Algorithm 1 line 4) on a DNF clause:
+// the rightmost candidate of DecomposeAll, whose Post contains no Kleene
+// closure. It panics on non-DNF clauses, like DecomposeAll.
+func Decompose(clause Expr) BatchUnit {
+	units := DecomposeAll(clause)
+	return units[len(units)-1]
 }
 
 func (b BatchUnit) String() string {

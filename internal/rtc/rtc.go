@@ -124,6 +124,13 @@ func (r *RTC) NumSharedPairs() int { return r.closure.NumPairs() }
 // ≥ 1 in Ḡ_R, sorted. The caller must not modify the returned slice.
 func (r *RTC) ReachableFrom(sid int32) []graph.VID { return r.closure.From(sid) }
 
+// ReachableInto returns the SIDs that reach sid by a path of length ≥ 1
+// in Ḡ_R, sorted — the reverse selection σ_{END_S=sid} R̄+_Ḡ that the
+// backward batch-unit join drives from. The transposed closure is built
+// lazily on first use and shared. The caller must not modify the
+// returned slice.
+func (r *RTC) ReachableInto(sid int32) []graph.VID { return r.closure.Into(sid) }
+
 // Reachable reports whether (u, w) ∈ R+_G using Theorem 1: the SCC of u
 // must reach the SCC of w in TC(Ḡ_R).
 func (r *RTC) Reachable(u, w graph.VID) bool {

@@ -19,6 +19,7 @@ package tc
 import (
 	"math/bits"
 	"sort"
+	"sync"
 
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
@@ -31,6 +32,12 @@ type Closure struct {
 	numVertices int
 	succ        [][]graph.VID
 	numPairs    int
+
+	// invOnce/inv hold the lazily computed transposed closure, built on
+	// the first Inverted call. Closures are shared immutably across
+	// goroutines, so the transpose is guarded by a Once.
+	invOnce sync.Once
+	inv     *Closure
 }
 
 // NumVertices returns the size of the underlying VID space.
@@ -43,6 +50,42 @@ func (c *Closure) NumPairs() int { return c.numPairs }
 // From returns the vertices reachable from u, sorted ascending. The
 // caller must not modify the returned slice.
 func (c *Closure) From(u graph.VID) []graph.VID { return c.succ[u] }
+
+// Into returns the vertices that reach w, sorted ascending — From on the
+// transposed closure. The transpose is built lazily on first use (one
+// O(pairs) pass) and cached; it backs the backward batch-unit join,
+// which drives the Pre ⋈ R+ ⋈ Post pipeline from the Post side. The
+// caller must not modify the returned slice.
+func (c *Closure) Into(w graph.VID) []graph.VID { return c.Inverted().From(w) }
+
+// Inverted returns the transposed closure: (u, w) ∈ c iff (w, u) ∈
+// Inverted. It is computed once, concurrently-safely, and shared by all
+// callers. The transpose of the transpose is the original closure.
+func (c *Closure) Inverted() *Closure {
+	c.invOnce.Do(func() {
+		inv := &Closure{numVertices: c.numVertices, numPairs: c.numPairs, inv: c}
+		inv.invOnce.Do(func() {}) // inv's own inverse is c; never recompute
+		counts := make([]int, c.numVertices)
+		c.Each(func(_, w graph.VID) bool {
+			counts[w]++
+			return true
+		})
+		inv.succ = make([][]graph.VID, c.numVertices)
+		for w, n := range counts {
+			if n > 0 {
+				inv.succ[w] = make([]graph.VID, 0, n)
+			}
+		}
+		// Each walks sources in ascending order, so every transposed list
+		// is appended in sorted order.
+		c.Each(func(u, w graph.VID) bool {
+			inv.succ[w] = append(inv.succ[w], u)
+			return true
+		})
+		c.inv = inv
+	})
+	return c.inv
+}
 
 // Reachable reports whether a path of length ≥ 1 leads from u to w.
 func (c *Closure) Reachable(u, w graph.VID) bool {

@@ -25,6 +25,11 @@ type Config struct {
 	// RLengths are the lengths of the shared sub-query R, cycled across
 	// sets. The paper draws equal counts of lengths 1, 2 and 3.
 	RLengths []int
+	// PreLength / PostLength are the label-concatenation lengths of Pre
+	// and Post; 0 means the paper's single label. Longer sides are more
+	// selective — each extra join shrinks the relation — which is the
+	// knob the planner benchmarks turn to create asymmetric workloads.
+	PreLength, PostLength int
 	// Star generates Pre·R*·Post instead of Pre·R+·Post.
 	Star bool
 	// Seed drives the deterministic generator.
@@ -72,10 +77,27 @@ func GenerateOver(labels []string, cfg Config) ([]Set, error) {
 			return nil, fmt.Errorf("workload: R length must be positive, got %d", l)
 		}
 	}
+	if cfg.PreLength < 0 || cfg.PostLength < 0 {
+		return nil, fmt.Errorf("workload: Pre/Post lengths must not be negative, got %d/%d", cfg.PreLength, cfg.PostLength)
+	}
+	preLen, postLen := cfg.PreLength, cfg.PostLength
+	if preLen == 0 {
+		preLen = 1
+	}
+	if postLen == 0 {
+		postLen = 1
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pick := func() rpq.Expr {
 		return rpq.Label{Name: labels[rng.Intn(len(labels))]}
+	}
+	pickConcat := func(n int) rpq.Expr {
+		parts := make([]rpq.Expr, n)
+		for i := range parts {
+			parts[i] = pick()
+		}
+		return rpq.NewConcat(parts...)
 	}
 
 	sets := make([]Set, cfg.NumSets)
@@ -95,7 +117,7 @@ func GenerateOver(labels []string, cfg Config) ([]Set, error) {
 			} else {
 				mid = rpq.Plus{Sub: r}
 			}
-			queries[q] = rpq.NewConcat(pick(), mid, pick())
+			queries[q] = rpq.NewConcat(pickConcat(preLen), mid, pickConcat(postLen))
 		}
 		sets[i] = Set{R: r, Queries: queries}
 	}

@@ -120,9 +120,27 @@ const (
 	NuutilaClosure = rtc.NuutilaClosure
 )
 
-// Options configure an Engine. The zero value selects RTCSharing with a
-// BFS closure, no DFA determinisation and the default DNF bound.
+// Options configure an Engine. The zero value selects RTCSharing with
+// the heuristic planner, a BFS closure, no DFA determinisation and the
+// default DNF bound.
 type Options = core.Options
+
+// PlannerMode selects how the engine plans DNF clauses before executing
+// them (Options.Planner).
+type PlannerMode = core.PlannerMode
+
+const (
+	// PlannerHeuristic is the paper's fixed pipeline: split each clause
+	// at its rightmost outermost Kleene closure and join forward. This
+	// is the default.
+	PlannerHeuristic = core.PlannerHeuristic
+	// PlannerCostBased enumerates every closure anchor in both join
+	// directions plus a direct-automaton bypass, prices the candidates
+	// with cardinality estimates from the graph's per-label statistics,
+	// and picks the cheapest. Results are identical to PlannerHeuristic;
+	// only the execution strategy changes.
+	PlannerCostBased = core.PlannerCostBased
+)
 
 // Stats is the engine's accumulated timing split: SharedData (computing
 // the shared closure structure), PreJoin (the Pre_G ⋈ R+_G join) and
@@ -142,11 +160,13 @@ type SharedSummary = core.SharedSummary
 // query batch over such forks.
 type Engine = core.Engine
 
-// SharedCache holds the shared closure structures (the paper's RTCs,
-// full closures, and memoised sub-query results). One cache may back any
-// number of engines over the same graph and options; it is safe for
-// concurrent use and deduplicates concurrent computations of the same
-// sub-query. See DESIGN.md for the concurrency model.
+// SharedCache holds the shared closure structures (the paper's RTCs and
+// full closures). Sub-query result sets are deliberately *not* in it —
+// they can be O(|V|²), so they memoise per engine and die with it; only
+// the compact closure structures persist process-wide. One cache may
+// back any number of engines over the same graph and options; it is
+// safe for concurrent use and deduplicates concurrent computations of
+// the same sub-query. See DESIGN.md for the concurrency model.
 type SharedCache = core.SharedCache
 
 // CacheCounters is a snapshot of a SharedCache's hit/miss counters.
@@ -158,8 +178,12 @@ type CacheCounters = core.CacheCounters
 func NewSharedCache() *SharedCache { return core.NewSharedCache() }
 
 // Plan is the output of Engine.Explain / Engine.ExplainQuery: the DNF
-// clauses, their Pre/R/Post decompositions, and which shared structures
-// are already cached. Explaining never executes or mutates anything.
+// clauses, the planner's chosen execution per clause (anchor closure,
+// join direction, shared-structure vs direct automaton) with estimated
+// cardinalities, and which shared structures are already cached.
+// Explaining never executes or mutates anything;
+// Engine.ExplainAnalyze / Engine.ExplainAnalyzeQuery additionally run
+// the query and fill in the actual cardinalities.
 type Plan = core.Plan
 
 // PlanClause is one batch unit of a Plan.

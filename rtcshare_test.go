@@ -152,6 +152,34 @@ func TestPublicExplain(t *testing.T) {
 	}
 }
 
+func TestPublicPlannerModes(t *testing.T) {
+	g := fig1(t)
+	want, err := rtcshare.Evaluate(g, "d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []rtcshare.PlannerMode{rtcshare.PlannerHeuristic, rtcshare.PlannerCostBased} {
+		e := rtcshare.NewEngine(g, rtcshare.Options{Planner: mode})
+		got, err := e.EvaluateQuery("d.(b.c)+.c")
+		if err != nil {
+			t.Fatalf("planner %v: %v", mode, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("planner %v: %d pairs, want %d", mode, got.Len(), want.Len())
+		}
+		plan, err := e.ExplainAnalyzeQuery("d.(b.c)+.c")
+		if err != nil {
+			t.Fatalf("planner %v explain analyze: %v", mode, err)
+		}
+		if !plan.Analyzed || plan.ActualResultPairs != want.Len() {
+			t.Errorf("planner %v: analyzed plan %+v, want %d actual pairs", mode, plan, want.Len())
+		}
+		if plan.Clauses[0].Kind == "" || plan.Clauses[0].Direction == "" {
+			t.Errorf("planner %v: plan missing kind/direction: %+v", mode, plan.Clauses[0])
+		}
+	}
+}
+
 func TestPublicInverseLabels(t *testing.T) {
 	g := fig1(t)
 	res, err := rtcshare.Evaluate(g, "^d")
