@@ -19,6 +19,7 @@ import (
 	"rtcshare/internal/datagen"
 	"rtcshare/internal/eval"
 	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
 	"rtcshare/internal/scc"
@@ -167,7 +168,7 @@ func BenchmarkFig10b_Youtube_RTC(b *testing.B)   { benchFig10b(b, datagen.Youtub
 // a fixed Pre_G and closure (Algorithm 2 vs the pair-level join).
 func benchFig11Join(b *testing.B, useRTC bool) {
 	g := mustRMAT(b, 4)
-	preG := eval.Evaluate(g, rtcshare.MustParseQuery("l3"))
+	preG := pairs.RelationFromSet(g.NumVertices(), eval.Evaluate(g, rtcshare.MustParseQuery("l3")))
 	rg := eval.Evaluate(g, rtcshare.MustParseQuery("l0.l1"))
 	gr := rtc.EdgeReduce(g.NumVertices(), rg)
 	structure := rtc.Compute(gr, rtc.BFSClosure)

@@ -159,7 +159,7 @@ func TestRegistry(t *testing.T) {
 		"ablations",
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
-		"fig16", "planner",
+		"fig16", "layout", "planner",
 		"table3", "table4",
 	}
 	if len(exps) != len(wantIDs) {

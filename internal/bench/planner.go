@@ -34,6 +34,10 @@ type PlannerRow struct {
 	WallMS float64       `json:"wall_ms"`
 	// Speedup is the heuristic wall over this wall within the cell.
 	Speedup float64 `json:"speedup"`
+	// AllocsPerOp / BytesPerOp are -benchmem-style per-query allocation
+	// counts, measured on a fresh engine in a separate untimed pass.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// SharedPairs totals the shared-structure sizes the run built.
 	SharedPairs int `json:"shared_pairs"`
 	// ResultPairs totals the result sizes — a cross-planner sanity check.
@@ -173,6 +177,25 @@ func measurePlannerCell(g *graph.Graph, batch []rpq.Expr, dataset, family string
 			row.ResultPairs = pairsTotal
 			row.SharedPairs = engine.SharedPairsTotal()
 		}
+	}
+
+	// Allocation pass, untimed: one fresh-engine batch per mode between
+	// mem-stats snapshots.
+	for i, m := range modes {
+		mallocs, bytes, err := measureAllocs(func() error {
+			engine := core.New(g, core.Options{Strategy: core.RTCSharing, Planner: m.mode})
+			for _, q := range batch {
+				if _, err := engine.Evaluate(q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows[i].AllocsPerOp = float64(mallocs) / float64(len(batch))
+		rows[i].BytesPerOp = float64(bytes) / float64(len(batch))
 	}
 
 	// Plan-choice census, after all timing: replay the batch with

@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		{ID: "fig15a", Title: "Fig. 15(a): three-part split vs #RPQs, RMAT_3", Run: rpqSweep(true, (*RPQSweep).RenderFig15)},
 		{ID: "fig15b", Title: "Fig. 15(b): three-part split vs #RPQs, Advogato", Run: rpqSweep(false, (*RPQSweep).RenderFig15)},
 		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
+		{ID: "layout", Title: "Layout (beyond the paper): map-set vs columnar, bfs vs bitset closures", Run: runLayout, JSON: jsonLayout},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
@@ -93,6 +94,20 @@ func jsonParallel(w io.Writer, cfg RunConfig) (any, error) {
 	}
 	ps.RenderFig16(w)
 	return ps, nil
+}
+
+func runLayout(w io.Writer, cfg RunConfig) error {
+	_, err := jsonLayout(w, cfg)
+	return err
+}
+
+func jsonLayout(w io.Writer, cfg RunConfig) (any, error) {
+	ls, err := RunLayoutExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ls.RenderLayout(w)
+	return ls, nil
 }
 
 func runPlanner(w io.Writer, cfg RunConfig) error {

@@ -7,6 +7,7 @@ import (
 	"rtcshare/internal/datagen"
 	"rtcshare/internal/eval"
 	"rtcshare/internal/fixtures"
+	"rtcshare/internal/pairs"
 	"rtcshare/internal/plan"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
@@ -33,8 +34,8 @@ func TestBackwardJoinMatchesForward(t *testing.T) {
 			{Pre: rpq.Epsilon{}, R: rpq.MustParse("b"), Type: rpq.ClosurePlus, Post: rpq.MustParse("a.c")},
 		}
 		for _, bu := range units {
-			preG := eval.Evaluate(g, bu.Pre)
-			postG := eval.Evaluate(g, bu.Post)
+			preG := pairs.RelationFromSet(g.NumVertices(), eval.Evaluate(g, bu.Pre))
+			postG := pairs.RelationFromSet(g.NumVertices(), eval.Evaluate(g, bu.Post))
 			rg := eval.Evaluate(g, bu.R)
 			structure := rtc.ComputeFromResult(g.NumVertices(), rg, rtc.BFSClosure)
 			closure := tc.BFS(rtc.EdgeReduce(g.NumVertices(), rg))

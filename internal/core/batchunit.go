@@ -11,64 +11,24 @@ import (
 	"rtcshare/internal/tc"
 )
 
-// This file implements the batch-unit joins: Algorithm 2 for RTCSharing
-// and the pair-level counterpart for FullSharing. The relations ResEq7,
-// ResEq8 and ResEq10 of the paper are sets; they are realised here with
-// generation-stamped arrays, grouped by the start vertex v_i, so that a
-// membership test is one array read. The set *semantics* (which unions
-// happen where, and therefore which redundant/useless operations each
-// method performs) exactly follows Section IV-B; only the set data
-// structure is faster than a hash table.
-
-// srcBuckets groups the pairs of a relation by one side: bucketed by
-// start vertex, the dsts of src v are flat[offsets[v]:offsets[v+1]];
-// bucketed by end vertex (bucketByDst), the roles swap.
-type srcBuckets struct {
-	offsets []int32
-	flat    []graph.VID
-}
-
-func bucketBySrc(numVertices int, rel *pairs.Set) srcBuckets {
-	return bucketPairs(numVertices, rel, false)
-}
-
-// bucketByDst groups a relation by end vertex: partners(v) returns the
-// start vertices of pairs ending at v. It is the index the backward join
-// walks Pre_G through.
-func bucketByDst(numVertices int, rel *pairs.Set) srcBuckets {
-	return bucketPairs(numVertices, rel, true)
-}
-
-func bucketPairs(numVertices int, rel *pairs.Set, byDst bool) srcBuckets {
-	offsets := make([]int32, numVertices+1)
-	rel.Each(func(src, dst graph.VID) bool {
-		if byDst {
-			offsets[dst+1]++
-		} else {
-			offsets[src+1]++
-		}
-		return true
-	})
-	for v := 0; v < numVertices; v++ {
-		offsets[v+1] += offsets[v]
-	}
-	flat := make([]graph.VID, rel.Len())
-	cursor := make([]int32, numVertices)
-	rel.Each(func(src, dst graph.VID) bool {
-		key, val := src, dst
-		if byDst {
-			key, val = dst, src
-		}
-		flat[offsets[key]+cursor[key]] = val
-		cursor[key]++
-		return true
-	})
-	return srcBuckets{offsets: offsets, flat: flat}
-}
-
-func (b srcBuckets) dsts(v graph.VID) []graph.VID {
-	return b.flat[b.offsets[v]:b.offsets[v+1]]
-}
+// This file implements the batch-unit joins over the columnar layout:
+// Algorithm 2 for RTCSharing and the pair-level counterpart for
+// FullSharing. The relations ResEq7, ResEq8 and ResEq10 of the paper are
+// sets; they are realised here with generation-stamped arrays, grouped
+// by the start vertex v_i, so that a membership test is one array read.
+// The set *semantics* (which unions happen where, and therefore which
+// redundant/useless operations each method performs) exactly follows
+// Section IV-B; only the data plane differs from the paper's pseudocode:
+//
+//   - Side relations arrive as sealed pairs.Relation values, already
+//     grouped by start vertex (and, through the lazy transpose, by end
+//     vertex), so no per-call re-bucketing happens — the seed executor's
+//     bucketBySrc/bucketByDst live on only in the LayoutMapSet baseline
+//     (batchunit_legacy.go).
+//   - The stamp sets and the ResEq9 tuple buffer come from a per-engine
+//     pool (joinScratch), and results are emitted through pooled
+//     relation builders, so a warm engine's joins run allocation-free up
+//     to the sealed output columns.
 
 // stampSet is a constant-time set over a dense ID space, cleared in O(1)
 // by bumping the generation.
@@ -78,6 +38,14 @@ type stampSet struct {
 }
 
 func newStampSet(n int) *stampSet { return &stampSet{marks: make([]uint32, n)} }
+
+// ensure grows the mark space to cover n IDs.
+func (s *stampSet) ensure(n int) {
+	if len(s.marks) < n {
+		s.marks = make([]uint32, n)
+		s.gen = 0
+	}
+}
 
 func (s *stampSet) reset() {
 	s.gen++
@@ -98,6 +66,49 @@ func (s *stampSet) add(id int32) bool {
 	return true
 }
 
+// joinScratch is the pooled working state of one batch-unit join: two
+// stamp sets sized to the vertex space (which bounds the SCC space), the
+// ResEq9 tuple buffer, and the per-unit memo of Post traversals (end
+// vertices packed into one flat buffer, addressed by spans, so repeated
+// traversal results cost no allocation). One join owns a scratch
+// exclusively from acquire to release.
+type joinScratch struct {
+	seenA, seenB stampSet
+	resEq9       []pairs.Pair
+	endsBuf      []graph.VID
+	endSpans     map[graph.VID]endSpan
+}
+
+// endSpan addresses one memoised ReachFrom result inside endsBuf.
+type endSpan struct{ start, end int32 }
+
+// acquireScratch checks a join scratch out of the engine pool, sized for
+// the engine's vertex space.
+func (e *Engine) acquireScratch() *joinScratch {
+	sc := e.scratchPool.Get().(*joinScratch)
+	n := e.g.NumVertices()
+	sc.seenA.ensure(n)
+	sc.seenB.ensure(n)
+	return sc
+}
+
+func (e *Engine) releaseScratch(sc *joinScratch) {
+	sc.resEq9 = sc.resEq9[:0]
+	e.scratchPool.Put(sc)
+}
+
+// acquireBuilder checks a relation builder over the engine's vertex
+// space out of the pool. Builders return to the pool empty (Seal resets
+// them), keeping their scratch columns warm.
+func (e *Engine) acquireBuilder() *pairs.Builder {
+	return e.builderPool.Get().(*pairs.Builder)
+}
+
+func (e *Engine) releaseBuilder(b *pairs.Builder) {
+	b.Reset()
+	e.builderPool.Put(b)
+}
+
 // EvalBatchUnit implements Algorithm 2 (EvalBatchUnit) for RTCSharing:
 // the join pipeline of equations (6)–(10) over the RTC, eliminating
 //
@@ -110,24 +121,21 @@ func (s *stampSet) add(id int32) bool {
 //   - useless-2 operations: members of distinct SCCs are disjoint, so
 //     ResEq9 inserts perform no duplicate check (line 12).
 //
-// It is exported so benchmarks can measure the join in isolation; query
-// evaluation reaches it through Engine.Evaluate.
-func (e *Engine) EvalBatchUnit(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+// Pre_G arrives as a sealed relation: the per-start runs the loop wants
+// are its frozen columns, walked in ascending start order with no
+// bucketing pass. It is exported so benchmarks can measure the join in
+// isolation; query evaluation reaches it through Engine.Evaluate.
+func (e *Engine) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
-	buckets := bucketBySrc(e.g.NumVertices(), preG)
-	numComps := structure.NumReducedVertices()
-	seen7 := newStampSet(numComps) // the ResEq7 union, per v_i
-	seen8 := newStampSet(numComps) // the ResEq8 union, per v_i
+	sc := e.acquireScratch()
+	seen7 := &sc.seenA // the ResEq7 union, per v_i
+	seen8 := &sc.seenB // the ResEq8 union, per v_i
 
 	// ResEq9 is an append-only list (useless-2 elimination), grouped by
-	// v_i because the buckets are walked in vertex order.
-	var resEq9 []pairs.Pair
-	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
-		vjs := buckets.dsts(vi)
-		if len(vjs) == 0 {
-			continue
-		}
+	// v_i because the relation's runs are walked in vertex order.
+	resEq9 := sc.resEq9[:0]
+	preG.EachSrc(func(vi graph.VID, vjs []graph.VID) bool {
 		seen7.reset()
 		seen8.reset()
 		if typ == rpq.ClosureStar {
@@ -159,10 +167,12 @@ func (e *Engine) EvalBatchUnit(preG *pairs.Set, structure *rtc.RTC, typ rpq.Clos
 				}
 			}
 		}
-	}
+		return true
+	})
+	sc.resEq9 = resEq9 // keep the grown buffer pooled
 	e.addPreJoin(time.Since(joinStart))
 
-	return e.joinPost(resEq9, post)
+	return e.joinPost(sc, post)
 }
 
 // EvalBatchUnitFull is FullSharing's batch-unit evaluation: the same
@@ -171,18 +181,14 @@ func (e *Engine) EvalBatchUnit(preG *pairs.Set, structure *rtc.RTC, typ rpq.Clos
 // entire reachable set From(v_j) is walked and inserted with a duplicate
 // check — the redundant-1 and redundant-2 operations of Definitions 3
 // and 4 that Algorithm 2 eliminates are all performed here.
-func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+func (e *Engine) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
-	buckets := bucketBySrc(e.g.NumVertices(), preG)
-	seenV := newStampSet(e.g.NumVertices())
+	sc := e.acquireScratch()
+	seenV := &sc.seenA
 
-	var resEq9 []pairs.Pair
-	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
-		vjs := buckets.dsts(vi)
-		if len(vjs) == 0 {
-			continue
-		}
+	resEq9 := sc.resEq9[:0]
+	preG.EachSrc(func(vi graph.VID, vjs []graph.VID) bool {
 		seenV.reset()
 		if typ == rpq.ClosureStar {
 			for _, vj := range vjs {
@@ -201,10 +207,12 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq
 				}
 			}
 		}
-	}
+		return true
+	})
+	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
 
-	return e.joinPost(resEq9, post)
+	return e.joinPost(sc, post)
 }
 
 // EvalBatchUnitBackward is the mirror image of EvalBatchUnit, chosen by
@@ -214,24 +222,20 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Set, closure *tc.Closure, typ rpq
 // destination side. The elimination structure is Algorithm 2's under
 // transposition: SCC collapses play the redundant-1/2 roles per distinct
 // result end vertex v_l, and member expansion needs no duplicate check.
-// Both relations arrive materialised, so unlike the forward path no
-// automaton is consulted during the join.
-func (e *Engine) EvalBatchUnitBackward(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+// Both relations arrive sealed, so the end-vertex runs this direction
+// wants are Post_G's transposed columns — built once per relation, then
+// reused by every batch unit that probes the same Post.
+func (e *Engine) EvalBatchUnitBackward(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
-	buckets := bucketByDst(e.g.NumVertices(), postG)
-	numComps := structure.NumReducedVertices()
-	seen7 := newStampSet(numComps) // transposed ResEq7, per v_l
-	seen8 := newStampSet(numComps) // transposed ResEq8, per v_l
+	sc := e.acquireScratch()
+	seen7 := &sc.seenA // transposed ResEq7, per v_l
+	seen8 := &sc.seenB // transposed ResEq8, per v_l
 
 	// resEq9 holds (v_l, v_j): the R{+,*} ⋈ Post_G tuples transposed,
 	// grouped by the result end vertex v_l.
-	var resEq9 []pairs.Pair
-	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
-		vks := buckets.dsts(vl)
-		if len(vks) == 0 {
-			continue
-		}
+	resEq9 := sc.resEq9[:0]
+	postG.EachDst(func(vl graph.VID, vks []graph.VID) bool {
 		seen7.reset()
 		seen8.reset()
 		if typ == rpq.ClosureStar {
@@ -258,28 +262,26 @@ func (e *Engine) EvalBatchUnitBackward(preG *pairs.Set, structure *rtc.RTC, typ 
 				}
 			}
 		}
-	}
+		return true
+	})
+	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
 
-	return e.joinPreBackward(resEq9, preG)
+	return e.joinPreBackward(sc, preG)
 }
 
 // EvalBatchUnitFullBackward is the backward join over the full closure:
 // pair-level enumeration through the transposed closure with duplicate
 // checks everywhere, exactly as EvalBatchUnitFull is the pair-level
 // forward join.
-func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
-	buckets := bucketByDst(e.g.NumVertices(), postG)
-	seenV := newStampSet(e.g.NumVertices())
+	sc := e.acquireScratch()
+	seenV := &sc.seenA
 
-	var resEq9 []pairs.Pair
-	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
-		vks := buckets.dsts(vl)
-		if len(vks) == 0 {
-			continue
-		}
+	resEq9 := sc.resEq9[:0]
+	postG.EachDst(func(vl graph.VID, vks []graph.VID) bool {
 		seenV.reset()
 		if typ == rpq.ClosureStar {
 			for _, vk := range vks {
@@ -295,36 +297,44 @@ func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Set, closure *tc.Closure,
 				}
 			}
 		}
-	}
+		return true
+	})
+	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
 
-	return e.joinPreBackward(resEq9, preG)
+	return e.joinPreBackward(sc, preG)
 }
 
-// joinPreBackward finishes a backward batch unit: resEq9 holds (v_l,
+// joinPreBackward finishes a backward batch unit: sc.resEq9 holds (v_l,
 // v_j) tuples grouped by v_l, and every Pre_G tuple (v_i, v_j) extends
 // one to a result (v_i, v_l). Like the forward joinPost this is
 // Remainder time (the strategies share it identically); the duplicate
-// check on v_i per v_l mirrors joinPost's on v_l per v_i.
-func (e *Engine) joinPreBackward(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.Set, error) {
+// check on v_i per v_l mirrors joinPost's on v_l per v_i. Pre_G is
+// walked end-vertex-first through its transposed columns — one lazy
+// build per relation, in place of the seed's per-call re-bucketing.
+// The scratch is released on return.
+func (e *Engine) joinPreBackward(sc *joinScratch, preG *pairs.Relation) (*pairs.Relation, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
+	defer e.releaseScratch(sc)
 
-	preByDst := bucketByDst(e.g.NumVertices(), preG)
-	resEq10 := pairs.NewSet()
-	seenVi := newStampSet(e.g.NumVertices())
+	out := e.acquireBuilder()
+	seenVi := &sc.seenA
+	resEq9 := sc.resEq9
 	for i := 0; i < len(resEq9); {
 		vl := resEq9[i].Src
 		seenVi.reset()
 		for ; i < len(resEq9) && resEq9[i].Src == vl; i++ {
 			vj := resEq9[i].Dst
-			for _, vi := range preByDst.dsts(vj) {
+			for _, vi := range preG.SrcsOf(vj) {
 				if seenVi.add(vi) {
-					resEq10.Add(vi, vl)
+					out.Add(vi, vl)
 				}
 			}
 		}
 	}
+	resEq10 := out.Seal()
+	e.releaseBuilder(out)
 	return resEq10, nil
 }
 
@@ -332,28 +342,39 @@ func (e *Engine) joinPreBackward(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.S
 // every (v_i, v_k) of the Pre·R{+,*} result, extend by the paths
 // satisfying Post from v_k (EvalRestrictedRPQ), unioning into ResEq10.
 // Both sharing strategies run this identically; it is Remainder time.
-// resEq9 must be grouped by Src, which both join implementations
-// guarantee.
-func (e *Engine) joinPost(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
+// sc.resEq9 must be grouped by Src, which both join implementations
+// guarantee; the per-v_i duplicate stamps mean every emitted pair is
+// unique, so the result goes straight into a pooled builder and is
+// sealed once. The scratch is released on return.
+func (e *Engine) joinPost(sc *joinScratch, post rpq.Expr) (*pairs.Relation, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
+	defer e.releaseScratch(sc)
 
-	resEq10 := pairs.NewSet()
+	out := e.acquireBuilder()
 	_, postIsEps := post.(rpq.Epsilon)
 	var (
 		evalPost *eval.Evaluator
 		// EvalRestrictedRPQ(Post, v_k) memoised per distinct v_k within
-		// the batch unit.
-		ends   map[graph.VID][]graph.VID
-		seenVl = newStampSet(e.g.NumVertices())
+		// the batch unit: end vertices append into the pooled flat
+		// buffer, the memo keeps spans.
+		ends   map[graph.VID]endSpan
+		seenVl = &sc.seenB
 	)
+	sc.endsBuf = sc.endsBuf[:0]
 	if !postIsEps {
 		var evalKey string
 		evalPost, evalKey = e.acquireEvaluator(post)
 		defer e.releaseEvaluator(evalKey, evalPost)
-		ends = make(map[graph.VID][]graph.VID)
+		if sc.endSpans == nil {
+			sc.endSpans = make(map[graph.VID]endSpan)
+		} else {
+			clear(sc.endSpans)
+		}
+		ends = sc.endSpans
 	}
 
+	resEq9 := sc.resEq9
 	for i := 0; i < len(resEq9); {
 		vi := resEq9[i].Src
 		seenVl.reset()
@@ -363,22 +384,26 @@ func (e *Engine) joinPost(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error
 				// Post = ε: ResEq10 is ResEq9 de-duplicated. Duplicates
 				// only arise from the R* seeding.
 				if seenVl.add(vk) {
-					resEq10.Add(vi, vk)
+					out.Add(vi, vk)
 				}
 				continue
 			}
-			vkEnds, ok := ends[vk]
+			span, ok := ends[vk]
 			if !ok {
-				vkEnds = evalPost.ReachFrom(vk)
-				ends[vk] = vkEnds
+				span.start = int32(len(sc.endsBuf))
+				sc.endsBuf = evalPost.AppendReachFrom(vk, sc.endsBuf)
+				span.end = int32(len(sc.endsBuf))
+				ends[vk] = span
 			}
-			for _, vl := range vkEnds {
+			for _, vl := range sc.endsBuf[span.start:span.end] {
 				// Lines 15–16: duplicate check for (10).
 				if seenVl.add(vl) {
-					resEq10.Add(vi, vl)
+					out.Add(vi, vl)
 				}
 			}
 		}
 	}
+	resEq10 := out.Seal()
+	e.releaseBuilder(out)
 	return resEq10, nil
 }

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"time"
+
+	"rtcshare/internal/eval"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
+)
+
+// This file preserves the seed's batch-unit executor verbatim as the
+// LayoutMapSet baseline: sub-query results are map-backed pairs.Set
+// values, re-bucketed into flat per-vertex runs on every call
+// (bucketBySrc/bucketByDst), stamp sets are allocated per join, and
+// results accumulate through hash inserts. The columnar executor in
+// batchunit.go replaces all of that on the default layout; this one
+// exists so the rpqbench layout experiment can measure exactly what the
+// replacement bought, on identical plans and identical semantics.
+
+// srcBuckets groups the pairs of a relation by one side: bucketed by
+// start vertex, the dsts of src v are flat[offsets[v]:offsets[v+1]];
+// bucketed by end vertex (bucketByDst), the roles swap.
+type srcBuckets struct {
+	offsets []int32
+	flat    []graph.VID
+}
+
+func bucketBySrc(numVertices int, rel *pairs.Set) srcBuckets {
+	return bucketPairs(numVertices, rel, false)
+}
+
+// bucketByDst groups a relation by end vertex: partners(v) returns the
+// start vertices of pairs ending at v. It is the index the backward join
+// walks Pre_G through.
+func bucketByDst(numVertices int, rel *pairs.Set) srcBuckets {
+	return bucketPairs(numVertices, rel, true)
+}
+
+func bucketPairs(numVertices int, rel *pairs.Set, byDst bool) srcBuckets {
+	offsets := make([]int32, numVertices+1)
+	rel.Each(func(src, dst graph.VID) bool {
+		if byDst {
+			offsets[dst+1]++
+		} else {
+			offsets[src+1]++
+		}
+		return true
+	})
+	for v := 0; v < numVertices; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	flat := make([]graph.VID, rel.Len())
+	cursor := make([]int32, numVertices)
+	rel.Each(func(src, dst graph.VID) bool {
+		key, val := src, dst
+		if byDst {
+			key, val = dst, src
+		}
+		flat[offsets[key]+cursor[key]] = val
+		cursor[key]++
+		return true
+	})
+	return srcBuckets{offsets: offsets, flat: flat}
+}
+
+func (b srcBuckets) dsts(v graph.VID) []graph.VID {
+	return b.flat[b.offsets[v]:b.offsets[v+1]]
+}
+
+// evalBatchUnitMap is Algorithm 2 over the map layout — the seed's
+// EvalBatchUnit, re-bucketing Pre_G from its hash map on every call.
+func (e *Engine) evalBatchUnitMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketBySrc(e.g.NumVertices(), preG)
+	numComps := structure.NumReducedVertices()
+	seen7 := newStampSet(numComps) // the ResEq7 union, per v_i
+	seen8 := newStampSet(numComps) // the ResEq8 union, per v_i
+
+	var resEq9 []pairs.Pair
+	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
+		vjs := buckets.dsts(vi)
+		if len(vjs) == 0 {
+			continue
+		}
+		seen7.reset()
+		seen8.reset()
+		if typ == rpq.ClosureStar {
+			for _, vj := range vjs {
+				resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vj})
+			}
+		}
+		for _, vj := range vjs {
+			sj := structure.CompOf(vj)
+			if sj < 0 {
+				continue
+			}
+			if !seen7.add(sj) {
+				continue
+			}
+			for _, sk := range structure.ReachableFrom(sj) {
+				if !seen8.add(int32(sk)) {
+					continue
+				}
+				for _, vk := range structure.Members(int32(sk)) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPostMap(resEq9, post)
+}
+
+// evalBatchUnitFullMap is the seed's EvalBatchUnitFull: the pair-level
+// FullSharing join over the map layout.
+func (e *Engine) evalBatchUnitFullMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketBySrc(e.g.NumVertices(), preG)
+	seenV := newStampSet(e.g.NumVertices())
+
+	var resEq9 []pairs.Pair
+	for vi := graph.VID(0); int(vi) < e.g.NumVertices(); vi++ {
+		vjs := buckets.dsts(vi)
+		if len(vjs) == 0 {
+			continue
+		}
+		seenV.reset()
+		if typ == rpq.ClosureStar {
+			for _, vj := range vjs {
+				if seenV.add(vj) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vj})
+				}
+			}
+		}
+		for _, vj := range vjs {
+			for _, vk := range closure.From(vj) {
+				if seenV.add(vk) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPostMap(resEq9, post)
+}
+
+// evalBatchUnitBackwardMap is the seed's EvalBatchUnitBackward over the
+// map layout.
+func (e *Engine) evalBatchUnitBackwardMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketByDst(e.g.NumVertices(), postG)
+	numComps := structure.NumReducedVertices()
+	seen7 := newStampSet(numComps)
+	seen8 := newStampSet(numComps)
+
+	var resEq9 []pairs.Pair
+	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
+		vks := buckets.dsts(vl)
+		if len(vks) == 0 {
+			continue
+		}
+		seen7.reset()
+		seen8.reset()
+		if typ == rpq.ClosureStar {
+			for _, vk := range vks {
+				resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vk})
+			}
+		}
+		for _, vk := range vks {
+			sk := structure.CompOf(vk)
+			if sk < 0 {
+				continue
+			}
+			if !seen7.add(sk) {
+				continue
+			}
+			for _, sj := range structure.ReachableInto(sk) {
+				if !seen8.add(int32(sj)) {
+					continue
+				}
+				for _, vj := range structure.Members(int32(sj)) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPreBackwardMap(resEq9, preG)
+}
+
+// evalBatchUnitFullBackwardMap is the seed's EvalBatchUnitFullBackward
+// over the map layout.
+func (e *Engine) evalBatchUnitFullBackwardMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+	joinStart := time.Now()
+
+	buckets := bucketByDst(e.g.NumVertices(), postG)
+	seenV := newStampSet(e.g.NumVertices())
+
+	var resEq9 []pairs.Pair
+	for vl := graph.VID(0); int(vl) < e.g.NumVertices(); vl++ {
+		vks := buckets.dsts(vl)
+		if len(vks) == 0 {
+			continue
+		}
+		seenV.reset()
+		if typ == rpq.ClosureStar {
+			for _, vk := range vks {
+				if seenV.add(vk) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vk})
+				}
+			}
+		}
+		for _, vk := range vks {
+			for _, vj := range closure.Into(vk) {
+				if seenV.add(vj) {
+					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
+				}
+			}
+		}
+	}
+	e.addPreJoin(time.Since(joinStart))
+
+	return e.joinPreBackwardMap(resEq9, preG)
+}
+
+// joinPreBackwardMap finishes a backward batch unit on the map layout,
+// re-bucketing Pre_G by end vertex per call.
+func (e *Engine) joinPreBackwardMap(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.Set, error) {
+	t0 := time.Now()
+	defer func() { e.addRemainder(time.Since(t0)) }()
+
+	preByDst := bucketByDst(e.g.NumVertices(), preG)
+	resEq10 := pairs.NewSet()
+	seenVi := newStampSet(e.g.NumVertices())
+	for i := 0; i < len(resEq9); {
+		vl := resEq9[i].Src
+		seenVi.reset()
+		for ; i < len(resEq9) && resEq9[i].Src == vl; i++ {
+			vj := resEq9[i].Dst
+			for _, vi := range preByDst.dsts(vj) {
+				if seenVi.add(vi) {
+					resEq10.Add(vi, vl)
+				}
+			}
+		}
+	}
+	return resEq10, nil
+}
+
+// joinPostMap finishes a forward batch unit on the map layout: every
+// result pair lands through a hash insert.
+func (e *Engine) joinPostMap(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
+	t0 := time.Now()
+	defer func() { e.addRemainder(time.Since(t0)) }()
+
+	resEq10 := pairs.NewSet()
+	_, postIsEps := post.(rpq.Epsilon)
+	var (
+		evalPost *eval.Evaluator
+		ends     map[graph.VID][]graph.VID
+		seenVl   = newStampSet(e.g.NumVertices())
+	)
+	if !postIsEps {
+		var evalKey string
+		evalPost, evalKey = e.acquireEvaluator(post)
+		defer e.releaseEvaluator(evalKey, evalPost)
+		ends = make(map[graph.VID][]graph.VID)
+	}
+
+	for i := 0; i < len(resEq9); {
+		vi := resEq9[i].Src
+		seenVl.reset()
+		for ; i < len(resEq9) && resEq9[i].Src == vi; i++ {
+			vk := resEq9[i].Dst
+			if postIsEps {
+				if seenVl.add(vk) {
+					resEq10.Add(vi, vk)
+				}
+				continue
+			}
+			vkEnds, ok := ends[vk]
+			if !ok {
+				vkEnds = evalPost.ReachFrom(vk)
+				ends[vk] = vkEnds
+			}
+			for _, vl := range vkEnds {
+				if seenVl.add(vl) {
+					resEq10.Add(vi, vl)
+				}
+			}
+		}
+	}
+	return resEq10, nil
+}

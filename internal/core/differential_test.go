@@ -9,6 +9,7 @@ import (
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
 	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
 	"rtcshare/internal/workload"
 )
 
@@ -120,6 +121,40 @@ func TestDifferentialStrategiesMatchReference(t *testing.T) {
 							c.graphSeed, c.workSeed, strategy, planner, q, got.Len(), want[i].Len())
 					}
 				}
+			}
+		}
+
+		// The data plane must never change answers: the seed's map-set
+		// executor, the bitset closure hybrid, their combination, and the
+		// columnar executor's native relation results all run the same
+		// oracle. (The columnar default is already covered above.)
+		for _, opts := range []Options{
+			{Layout: LayoutMapSet},
+			{TCAlgo: rtc.BitsetClosure},
+			{Layout: LayoutMapSet, TCAlgo: rtc.BitsetClosure},
+			{Strategy: FullSharing, Layout: LayoutMapSet},
+		} {
+			engine := New(g, opts)
+			for i, q := range qs {
+				got, err := engine.Evaluate(q)
+				if err != nil {
+					t.Fatalf("seed %d/%d %+v: evaluate %q: %v", c.graphSeed, c.workSeed, opts, q, err)
+				}
+				if !got.Equal(want[i]) {
+					t.Errorf("seed %d/%d %+v: %q: engine %d pairs, reference %d pairs",
+						c.graphSeed, c.workSeed, opts, q, got.Len(), want[i].Len())
+				}
+			}
+		}
+		relEngine := New(g, Options{TCAlgo: rtc.BitsetClosure})
+		for i, q := range qs {
+			got, err := relEngine.EvaluateRel(q)
+			if err != nil {
+				t.Fatalf("seed %d/%d rel: evaluate %q: %v", c.graphSeed, c.workSeed, q, err)
+			}
+			if !got.EqualSet(want[i]) {
+				t.Errorf("seed %d/%d rel: %q: engine %d pairs, reference %d pairs",
+					c.graphSeed, c.workSeed, q, got.Len(), want[i].Len())
 			}
 		}
 

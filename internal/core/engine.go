@@ -68,6 +68,36 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// Layout selects the executor's relation representation — the data
+// plane under the unchanged query API.
+type Layout int
+
+const (
+	// LayoutColumnar is the default: sub-query results are sealed into
+	// immutable columnar pairs.Relation values (CSR by start vertex with
+	// a lazily built end-vertex transpose). Batch units probe the frozen
+	// columns as contiguous runs, sealed relations are shared across
+	// batch units, queries and engines without copying, and join scratch
+	// (stamp sets, tuple buffers, relation builders) is pooled on the
+	// engine so steady-state batch evaluation allocates almost nothing.
+	LayoutColumnar Layout = iota
+	// LayoutMapSet is the seed executor, preserved as the baseline of
+	// the rpqbench layout experiment: sub-query results are map-backed
+	// pairs.Set values, re-bucketed by start (or end) vertex on every
+	// batch-unit call, and every join inserts through a hash table.
+	LayoutMapSet
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutColumnar:
+		return "columnar"
+	case LayoutMapSet:
+		return "mapset"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
 // PlannerMode selects how DNF clauses are planned before execution.
 type PlannerMode = plan.Mode
 
@@ -88,6 +118,10 @@ type Options struct {
 	// Planner selects heuristic (the paper's rightmost-forward pipeline)
 	// or cost-based clause planning. Default: PlannerHeuristic.
 	Planner PlannerMode
+	// Layout selects the executor's relation representation. Default:
+	// LayoutColumnar (sealed columnar relations); LayoutMapSet is the
+	// seed's map-based executor, kept for the layout ablation.
+	Layout Layout
 	// TCAlgo selects the transitive-closure algorithm used on the
 	// (reduced) graph. Default: BFS, matching Table III.
 	TCAlgo rtc.TCAlgorithm
@@ -170,12 +204,26 @@ type Engine struct {
 	stats     Stats
 	summaries map[string]SharedSummary
 
-	// subMu guards subResults, the per-engine memo of sub-query results
-	// R_G / Pre_G. These pair sets can be large, so they live and die
-	// with the engine; only the compact closure structures go in the
-	// SharedCache.
-	subMu      sync.Mutex
-	subResults map[string]*pairs.Set
+	// subMu guards subSets, the per-engine memo of sub-query results the
+	// LayoutMapSet executor uses (the seed's behaviour: map-backed pair
+	// sets, engine-local, dying with the engine), and subRels, the
+	// columnar executor's *overflow* memo: sealed relations normally
+	// memoise in the SharedCache's relation region, shared across
+	// engines, but when the region's budget declines retention the
+	// engine keeps the relation here — bounded by the engine's lifetime,
+	// exactly the seed's discipline — so a full shared region degrades
+	// to per-engine memoisation, never to recomputing every batch unit.
+	subMu   sync.Mutex
+	subSets map[string]*pairs.Set
+	subRels map[string]*pairs.Relation
+
+	// scratchPool holds joinScratch values — the generation-stamped sets
+	// and tuple buffers of the batch-unit joins — and builderPool holds
+	// relation builders. Both are engine-local free lists: steady-state
+	// batch evaluation on one engine reuses the same columns instead of
+	// allocating per call.
+	scratchPool sync.Pool
+	builderPool sync.Pool
 
 	// evalMu guards evalFree, a free list of automaton-product
 	// evaluators per expression. Evaluators carry mutable traversal
@@ -207,14 +255,18 @@ func NewWithCache(g *graph.Graph, opts Options, cache *SharedCache) *Engine {
 	if cache == nil {
 		cache = NewSharedCache()
 	}
-	return &Engine{
-		g:          g,
-		opts:       opts,
-		cache:      cache,
-		summaries:  make(map[string]SharedSummary),
-		subResults: make(map[string]*pairs.Set),
-		evalFree:   make(map[string][]*eval.Evaluator),
+	e := &Engine{
+		g:         g,
+		opts:      opts,
+		cache:     cache,
+		summaries: make(map[string]SharedSummary),
+		subSets:   make(map[string]*pairs.Set),
+		subRels:   make(map[string]*pairs.Relation),
+		evalFree:  make(map[string][]*eval.Evaluator),
 	}
+	e.scratchPool.New = func() any { return &joinScratch{} }
+	e.builderPool.New = func() any { return pairs.NewBuilder(g.NumVertices()) }
+	return e
 }
 
 // Fork returns a new engine over the same graph and options, sharing the
@@ -260,7 +312,8 @@ func (e *Engine) ClearCaches() {
 	e.summaries = make(map[string]SharedSummary)
 	e.mu.Unlock()
 	e.subMu.Lock()
-	e.subResults = make(map[string]*pairs.Set)
+	e.subSets = make(map[string]*pairs.Set)
+	e.subRels = make(map[string]*pairs.Relation)
 	e.subMu.Unlock()
 	e.evalMu.Lock()
 	e.evalFree = make(map[string][]*eval.Evaluator)
@@ -306,6 +359,38 @@ func (e *Engine) Evaluate(q rpq.Expr) (*pairs.Set, error) {
 	e.stats.Queries++
 	e.mu.Unlock()
 	return e.evaluateSharing(q)
+}
+
+// EvaluateRel computes Q_G and returns it in the executor's native
+// sealed form: on the columnar layout the result relation is handed
+// over as-is — no hash-set materialisation at the boundary — which is
+// the cheapest way to consume large results (iterate with Each/EachSrc,
+// probe with Contains). On LayoutMapSet engines the map pipeline runs
+// and its set is sealed once at the end.
+func (e *Engine) EvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
+	e.mu.Lock()
+	e.stats.Queries++
+	e.mu.Unlock()
+	if e.opts.Layout == LayoutMapSet {
+		set, err := e.evaluatePlannedMap(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		rel := pairs.RelationFromSet(e.g.NumVertices(), set)
+		e.addRemainder(time.Since(t0))
+		return rel, nil
+	}
+	return e.evaluatePlanned(q, nil)
+}
+
+// EvaluateQueryRel parses q and evaluates it with EvaluateRel.
+func (e *Engine) EvaluateQueryRel(q string) (*pairs.Relation, error) {
+	expr, err := rpq.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvaluateRel(expr)
 }
 
 // EvaluateSet evaluates a multiple-RPQ set in order, sharing structures
@@ -393,8 +478,9 @@ func (e *Engine) maxClauses() int {
 func (e *Engine) planner() *plan.Planner {
 	e.plannerOnce.Do(func() {
 		e.qplanner = plan.New(e.g, plan.Config{
-			Mode:         e.opts.Planner,
-			SharedCached: e.sharedStructureCached,
+			Mode:          e.opts.Planner,
+			SharedCached:  e.sharedStructureCached,
+			ColumnarJoins: e.opts.Layout == LayoutColumnar,
 		})
 	})
 	return e.qplanner

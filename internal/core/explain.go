@@ -109,16 +109,34 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 	e.stats.Queries++
 	e.mu.Unlock()
 
-	var obs planObserver
-	start := time.Now()
-	result, err := e.evaluatePlanned(q, &obs)
+	var (
+		obs       planObserver
+		resultLen int
+		err       error
+		start     = time.Now()
+	)
+	// The analyzed run executes on the engine's configured layout, so
+	// the actuals reflect the executor that real queries use.
+	if e.opts.Layout == LayoutMapSet {
+		res, mErr := e.evaluatePlannedMap(q, &obs)
+		if mErr == nil {
+			resultLen = res.Len()
+		}
+		err = mErr
+	} else {
+		rel, cErr := e.evaluatePlanned(q, &obs)
+		if cErr == nil {
+			resultLen = rel.Len()
+		}
+		err = cErr
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
 	p := e.describePlan(obs.plan)
 	p.Analyzed = true
-	p.ActualResultPairs = result.Len()
+	p.ActualResultPairs = resultLen
 	p.ActualTime = elapsed
 	for i := range p.Clauses {
 		act := obs.actuals[i]

@@ -27,6 +27,7 @@ func TestExplainGoldenFigure1(t *testing.T) {
 	cases := []struct {
 		name    string
 		planner PlannerMode
+		layout  Layout
 		query   string
 		clauses []clauseGold
 	}{
@@ -76,11 +77,29 @@ func TestExplainGoldenFigure1(t *testing.T) {
 			},
 		},
 		{
-			name:    "star closure cost-based takes the automaton bypass",
+			name:    "star closure cost-based keeps the shared plan on columnar",
 			planner: PlannerCostBased,
-			// Pre = a is two edges and Post = ε: one seeded product
-			// traversal is predicted decisively below building any shared
-			// structure, so the bypass clears the deviation margin.
+			// Under the seed's map executor the seeded product traversal
+			// undercut the shared plan here and the bypass fired (the
+			// LayoutMapSet case below still pins that). The columnar
+			// executor's join tuples cost half as much, which prices the
+			// shared pipeline under the bypass's deviation margin — so on
+			// the default layout the recalibrated model keeps the paper's
+			// shared/forward plan.
+			query: "a.(b.c)*",
+			clauses: []clauseGold{
+				{"a.(b.c)*", "shared", "forward", 0, "a", "b.c", "*", "ε"},
+			},
+		},
+		{
+			name:    "star closure cost-based takes the automaton bypass on the map layout",
+			planner: PlannerCostBased,
+			layout:  LayoutMapSet,
+			// Pre = a is two edges and Post = ε: against map-join tuple
+			// costs one seeded product traversal is predicted decisively
+			// below building any shared structure, so the bypass clears
+			// the deviation margin — the PR-2 cost model preserved
+			// exactly.
 			query: "a.(b.c)*",
 			clauses: []clauseGold{
 				{"a.(b.c)*", "automaton", "forward", 0, "a", "b.c", "*", "ε"},
@@ -98,7 +117,7 @@ func TestExplainGoldenFigure1(t *testing.T) {
 
 	g := fixtures.Figure1()
 	for _, tc := range cases {
-		e := New(g, Options{Strategy: RTCSharing, Planner: tc.planner})
+		e := New(g, Options{Strategy: RTCSharing, Planner: tc.planner, Layout: tc.layout})
 		p, err := e.ExplainQuery(tc.query)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
@@ -204,7 +223,7 @@ func TestExecClauseAutomatonBypass(t *testing.T) {
 	if got.Len() != 2 || !got.Contains(7, 5) || !got.Contains(7, 3) {
 		t.Errorf("bypass result = %v, want {(7,5),(7,3)}", got.Sorted())
 	}
-	if !got.Equal(eval.Reference(g, clause)) {
+	if !got.EqualSet(eval.Reference(g, clause)) {
 		t.Error("bypass result differs from the reference oracle")
 	}
 	if act.Pre != -1 || act.Post != -1 {

@@ -4,6 +4,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"rtcshare/internal/pairs"
 )
 
 // SharedCache holds the shared structures of the sharing strategies —
@@ -22,12 +24,51 @@ import (
 // Kleene closures depend only on strictly smaller sub-expressions, which
 // rules out cyclic waits). Values stored in the cache are immutable by
 // contract: engines only ever read them.
+//
+// Next to the structure region the cache keeps a second, independently
+// sharded and counted *relation* region: the sealed columnar sub-query
+// results (R_G, Pre_G, Post_G) of the columnar engine layout. Sealed
+// relations are two exactly-sized int32 columns — far lighter than the
+// map sets the seed kept engine-local — so sharing them process-wide
+// lets concurrent engines (and the forks of EvaluateBatchParallel)
+// probe one frozen copy with zero copying. The regions are separate so
+// the structure counters keep their meaning: Counters/Len report
+// closure structures only, exactly as before.
 type SharedCache struct {
-	seed   maphash.Seed
-	shards [cacheShards]cacheShard
+	seed      maphash.Seed
+	shards    [cacheShards]cacheShard
+	relShards [cacheShards]cacheShard
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	relHits   atomic.Int64
+	relMisses atomic.Int64
+	// relPairs tracks the pairs resident in the relation region, for the
+	// admission budget below.
+	relPairs atomic.Int64
+}
+
+// relBudgetPairs is the soft bound on the relation region, in
+// pair-equivalent units (8 bytes each, ~128 MiB total): once the cached
+// sub-query relations reach it, newly computed relations are handed to
+// their waiters but not retained, so later uses recompute instead of
+// growing the process footprint. Each entry is charged its pairs plus a
+// vertex-proportional overhead for its offsets columns (relationCost),
+// so a stream of tiny relations over a huge graph cannot pin unbounded
+// memory through offsets alone. Sub-query relations are worst-case
+// O(|V|²), and — unlike the seed's engine-local map sets, which died
+// with their engine — the region is process-wide. The bound is advisory
+// (admissions on different shards may overshoot by a relation); the
+// compact closure structures remain unbounded as before.
+const relBudgetPairs = 16 << 20
+
+// relationCost is an entry's charge against relBudgetPairs in
+// pair-equivalents: its pairs (two int32 columns counting the lazy
+// transpose) plus its offset columns (numVertices+1 int32s each side,
+// i.e. one pair-equivalent per vertex).
+func relationCost(rel *pairs.Relation) int64 {
+	return int64(rel.Len()) + int64(rel.NumVertices()) + 1
 }
 
 // cacheShards is the shard count: enough that a handful of worker
@@ -40,11 +81,16 @@ type cacheShard struct {
 }
 
 // cacheEntry is one in-flight or completed computation. done is closed
-// when val/err become readable.
+// when val/err/retained become readable.
 type cacheEntry struct {
 	done chan struct{}
 	val  any
 	err  error
+	// retained reports whether the entry stayed in the cache after
+	// completion; false when the relation budget declined it, telling
+	// callers (including singleflight waiters) to keep the value
+	// themselves if they want it memoised.
+	retained bool
 }
 
 // NewSharedCache returns an empty cache.
@@ -52,12 +98,17 @@ func NewSharedCache() *SharedCache {
 	c := &SharedCache{seed: maphash.MakeSeed()}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*cacheEntry)
+		c.relShards[i].entries = make(map[string]*cacheEntry)
 	}
 	return c
 }
 
 func (c *SharedCache) shard(key string) *cacheShard {
 	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+func (c *SharedCache) relShard(key string) *cacheShard {
+	return &c.relShards[maphash.String(c.seed, key)%cacheShards]
 }
 
 // GetOrCompute returns the cached value for key, computing it with fn on
@@ -70,32 +121,76 @@ func (c *SharedCache) shard(key string) *cacheShard {
 // so a later call retries the computation. fn runs without any cache
 // lock held and may itself call GetOrCompute with different keys.
 func (c *SharedCache) GetOrCompute(key string, fn func() (any, error)) (val any, computed bool, err error) {
-	s := c.shard(key)
+	val, computed, _, err = getOrCompute(c.shard(key), &c.hits, &c.misses, key, fn, nil)
+	return val, computed, err
+}
+
+// GetOrComputeRelation is GetOrCompute against the relation region: the
+// same singleflight discipline, separate shards and separate counters,
+// used by the columnar executor to memoise sealed sub-query relations
+// process-wide. Values are *pairs.Relation by convention. Retention is
+// bounded by relBudgetPairs: over budget, the computed relation is
+// returned (and delivered to concurrent waiters) with retained=false
+// and not kept — callers that still want memoisation keep it in their
+// own (engine-lifetime) overflow memo.
+func (c *SharedCache) GetOrComputeRelation(key string, fn func() (any, error)) (val any, computed, retained bool, err error) {
+	return getOrCompute(c.relShard(key), &c.relHits, &c.relMisses, key, fn, c.admitRelation)
+}
+
+// admitRelation charges a freshly computed relation against the region
+// budget, reporting whether it may stay cached. It runs under the
+// owning shard's lock (so a charged relation is always resident), but
+// the budget itself is deliberately approximate: admissions on
+// different shards may interleave and overshoot by a relation, because
+// a global reservation would serialise every seal for a bound that
+// only needs rough enforcement.
+func (c *SharedCache) admitRelation(val any) bool {
+	rel, ok := val.(*pairs.Relation)
+	if !ok {
+		return true
+	}
+	n := relationCost(rel)
+	if c.relPairs.Load()+n > relBudgetPairs {
+		return false
+	}
+	c.relPairs.Add(n)
+	return true
+}
+
+// getOrCompute is the shared singleflight core. admit, when non-nil,
+// runs after a successful computation; returning false evicts the
+// entry (waiters still receive the value, marked unretained) so later
+// calls recompute.
+func getOrCompute(s *cacheShard, hits, misses *atomic.Int64, key string, fn func() (any, error), admit func(any) bool) (val any, computed, retained bool, err error) {
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
-		c.hits.Add(1)
+		hits.Add(1)
 		<-e.done
-		return e.val, false, e.err
+		return e.val, false, e.retained, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
-	c.misses.Add(1)
+	misses.Add(1)
 
 	e.val, e.err = fn()
-	if e.err != nil {
-		s.mu.Lock()
-		// Only evict our own entry: a Reset during fn may have swapped
-		// the map, and another goroutine may since have installed a
-		// fresh (possibly succeeded) entry under the same key.
-		if s.entries[key] == e {
+	s.mu.Lock()
+	// Act only on our own entry: a Reset during fn may have swapped the
+	// map (detaching e), and another goroutine may since have installed
+	// a fresh entry under the same key. A detached entry is neither
+	// evicted nor admitted — in particular its pairs are never charged
+	// to the relation budget, since they are not resident.
+	if s.entries[key] == e {
+		if e.err != nil || (admit != nil && !admit(e.val)) {
 			delete(s.entries, key)
+		} else {
+			e.retained = true
 		}
-		s.mu.Unlock()
 	}
+	s.mu.Unlock()
 	close(e.done)
-	return e.val, true, e.err
+	return e.val, true, e.retained, e.err
 }
 
 // Lookup returns the completed value for key without computing anything.
@@ -120,7 +215,8 @@ func (c *SharedCache) Lookup(key string) (any, bool) {
 	}
 }
 
-// Len returns the number of cached entries, including in-flight ones.
+// Len returns the number of cached structure entries, including
+// in-flight ones. Relation-region entries are counted by RelLen.
 func (c *SharedCache) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -132,18 +228,38 @@ func (c *SharedCache) Len() int {
 	return n
 }
 
-// Reset drops every entry and zeroes the counters. Entries still being
-// computed are detached, not interrupted: their waiters get the result,
-// but later lookups recompute.
+// RelLen returns the number of cached sealed sub-query relations,
+// including in-flight ones.
+func (c *SharedCache) RelLen() int {
+	n := 0
+	for i := range c.relShards {
+		s := &c.relShards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every entry of both regions and zeroes the counters.
+// Entries still being computed are detached, not interrupted: their
+// waiters get the result, but later lookups recompute.
 func (c *SharedCache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.entries = make(map[string]*cacheEntry)
 		s.mu.Unlock()
+		r := &c.relShards[i]
+		r.mu.Lock()
+		r.entries = make(map[string]*cacheEntry)
+		r.mu.Unlock()
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.relHits.Store(0)
+	c.relMisses.Store(0)
+	c.relPairs.Store(0)
 }
 
 // CacheCounters is a snapshot of a SharedCache's activity: Misses counts
@@ -154,13 +270,23 @@ func (c *SharedCache) Reset() {
 type CacheCounters struct {
 	Hits, Misses int64
 	Entries      int
+
+	// RelHits/RelMisses/RelEntries are the same counters for the
+	// relation region: sealed sub-query relations the columnar layout
+	// memoises. RelMisses equals the number of distinct sub-queries
+	// actually evaluated and sealed.
+	RelHits, RelMisses int64
+	RelEntries         int
 }
 
 // Counters returns a snapshot of the cache's hit/miss counters.
 func (c *SharedCache) Counters() CacheCounters {
 	return CacheCounters{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.Len(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Entries:    c.Len(),
+		RelHits:    c.relHits.Load(),
+		RelMisses:  c.relMisses.Load(),
+		RelEntries: c.RelLen(),
 	}
 }

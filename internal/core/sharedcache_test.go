@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"rtcshare/internal/pairs"
 )
 
 // TestSharedCacheSingleflight hammers one cache from many goroutines
@@ -175,5 +177,52 @@ func TestSharedCacheReset(t *testing.T) {
 	}
 	if c := cache.Counters(); c.Hits != 0 || c.Misses != 0 {
 		t.Fatalf("counters after Reset = %+v, want zero", c)
+	}
+}
+
+// The relation region's admission budget: relations are delivered to
+// callers regardless, but once the resident-pairs budget is exhausted
+// new ones are not retained, so the region cannot grow without bound.
+func TestRelationRegionBudget(t *testing.T) {
+	cache := NewSharedCache()
+	rel := pairs.RelationFromPairs(4, pairs.Pair{Src: 1, Dst: 2}, pairs.Pair{Src: 2, Dst: 3})
+
+	val, computed, retained, err := cache.GetOrComputeRelation("r1", func() (any, error) { return rel, nil })
+	if err != nil || !computed || !retained || val.(*pairs.Relation) != rel {
+		t.Fatalf("first admission: val=%v computed=%v retained=%v err=%v", val, computed, retained, err)
+	}
+	if cache.RelLen() != 1 || cache.relPairs.Load() != relationCost(rel) {
+		t.Fatalf("after admission: RelLen=%d relPairs=%d want %d", cache.RelLen(), cache.relPairs.Load(), relationCost(rel))
+	}
+
+	// Exhaust the budget; the next distinct relation is computed and
+	// returned but not retained, and a retry recomputes.
+	cache.relPairs.Store(relBudgetPairs)
+	computes := 0
+	for i := 0; i < 2; i++ {
+		val, computed, retained, err = cache.GetOrComputeRelation("r2", func() (any, error) {
+			computes++
+			return rel, nil
+		})
+		if err != nil || !computed || retained || val.(*pairs.Relation) != rel {
+			t.Fatalf("over-budget call %d: computed=%v retained=%v err=%v", i, computed, retained, err)
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("over-budget relation was retained: %d computes, want 2", computes)
+	}
+	if cache.RelLen() != 1 {
+		t.Fatalf("RelLen = %d, want 1 (only the admitted relation)", cache.RelLen())
+	}
+
+	// The admitted entry still hits, and reports itself retained.
+	_, computed, retained, _ = cache.GetOrComputeRelation("r1", func() (any, error) { return nil, nil })
+	if computed || !retained {
+		t.Fatalf("admitted relation should still be cached: computed=%v retained=%v", computed, retained)
+	}
+
+	cache.Reset()
+	if cache.relPairs.Load() != 0 || cache.RelLen() != 0 {
+		t.Fatal("Reset did not clear the relation region")
 	}
 }

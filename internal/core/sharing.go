@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
 	"rtcshare/internal/plan"
 	"rtcshare/internal/rpq"
@@ -10,9 +11,11 @@ import (
 	"rtcshare/internal/tc"
 )
 
-// Cache-key namespaces. The SharedCache holds two kinds of values keyed
-// by sub-query text; the prefixes keep them apart. '\x00' cannot appear
-// in a canonical expression string.
+// Cache-key namespaces. The SharedCache's structure region holds two
+// kinds of values keyed by sub-query text; the prefixes keep them apart.
+// '\x00' cannot appear in a canonical expression string. (Sealed
+// sub-query relations live in the cache's separate relation region,
+// keyed by the bare sub-query text.)
 const (
 	nsRTC  = "rtc\x00"  // *rtcValue: TC(Ḡ_R) + SCC tables
 	nsFull = "full\x00" // *fullValue: the full closure R+_G
@@ -55,11 +58,30 @@ type planObserver struct {
 // default heuristic planner the plans are exactly Algorithm 1's —
 // rightmost closure, forward join — so the paper's pipeline is the
 // special case the cost-based mode deviates from only on estimated wins.
+//
+// The executor runs on the engine's configured layout: sealed columnar
+// relations by default, the seed's map sets under LayoutMapSet. Either
+// way the public result is a mutable Set; the columnar path materialises
+// it once at this boundary.
 func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
-	return e.evaluatePlanned(q, nil)
+	if e.opts.Layout == LayoutMapSet {
+		return e.evaluatePlannedMap(q, nil)
+	}
+	rel, err := e.evaluatePlanned(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	set := rel.ToSet()
+	e.addRemainder(time.Since(t0))
+	return set, nil
 }
 
-func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Set, error) {
+// evaluatePlanned is the columnar plan-execute pipeline: clause results
+// are sealed relations, a single-clause DNF (the common case) returns
+// its relation as-is, and a multi-clause union merges through one pooled
+// builder sealed once.
+func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Relation, error) {
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
 	if err != nil {
@@ -75,11 +97,17 @@ func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Set, err
 		obs.actuals = make([]clauseActuals, len(qp.Clauses))
 	}
 
-	var result *pairs.Set
+	var (
+		result *pairs.Relation
+		merge  *pairs.Builder
+	)
 	for i := range qp.Clauses {
 		t0 := time.Now()
 		clauseG, act, err := e.execClause(&qp.Clauses[i])
 		if err != nil {
+			if merge != nil {
+				e.releaseBuilder(merge)
+			}
 			return nil, err
 		}
 		if obs != nil {
@@ -88,35 +116,51 @@ func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Set, err
 			obs.actuals[i] = act
 		}
 		t0 = time.Now()
-		if result == nil {
-			// First clause: adopt its (fresh) result set instead of
-			// copying it pair by pair. With a single-clause DNF — the
-			// common case — the final union disappears entirely.
+		switch {
+		case result == nil && merge == nil:
+			// First clause: adopt its sealed relation. With a
+			// single-clause DNF — the common case — no union happens at
+			// all.
 			result = clauseG
-		} else {
-			result.Union(clauseG)
+		case merge == nil:
+			merge = e.acquireBuilder()
+			merge.AddRelation(result)
+			merge.AddRelation(clauseG)
+			result = nil
+		default:
+			merge.AddRelation(clauseG)
 		}
 		e.addRemainder(time.Since(t0))
 	}
+	if merge != nil {
+		t0 := time.Now()
+		result = merge.Seal()
+		e.releaseBuilder(merge)
+		e.addRemainder(time.Since(t0))
+	}
 	if result == nil {
-		result = pairs.NewSet()
+		result = pairs.NewBuilder(e.g.NumVertices()).Seal()
 	}
 	return result, nil
 }
 
-// execClause executes one planned clause. It is the executor half of the
-// plan/execute split: all physical decisions were made by the planner,
-// and this switch only dispatches them.
-func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, error) {
+// execClause executes one planned clause on the columnar layout. It is
+// the executor half of the plan/execute split: all physical decisions
+// were made by the planner, and this switch only dispatches them.
+func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Relation, clauseActuals, error) {
 	act := clauseActuals{Pre: -1, Post: -1}
 
 	if cp.Kind == plan.KindAutomaton {
 		// Algorithm 1 line 6 (closure-free clause) and the planner's
 		// bypass for selective closure clauses: one product traversal,
-		// seeded with the first-step candidates when admissible.
+		// seeded with the first-step candidates when admissible, emitting
+		// straight into a pooled builder sealed once.
 		t0 := time.Now()
 		ev, key := e.acquireEvaluator(cp.Clause)
-		clauseG := ev.EvaluateAllSeeded()
+		b := e.acquireBuilder()
+		ev.AppendAllSeeded(b)
+		clauseG := b.Seal()
+		e.releaseBuilder(b)
 		e.releaseEvaluator(key, ev)
 		e.addRemainder(time.Since(t0))
 		return clauseG, act, nil
@@ -126,21 +170,21 @@ func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, err
 	// may contain further Kleene closures when the anchor is not the
 	// rightmost closure).
 	bu := cp.Unit
-	preG, err := e.subEvaluate(bu.Pre)
+	preG, err := e.subEvaluateRel(bu.Pre)
 	if err != nil {
 		return nil, act, err
 	}
 	act.Pre = preG.Len()
 
-	var postG *pairs.Set
+	var postG *pairs.Relation
 	if cp.Direction == plan.Backward {
-		if postG, err = e.subEvaluate(bu.Post); err != nil {
+		if postG, err = e.subEvaluateRel(bu.Post); err != nil {
 			return nil, act, err
 		}
 		act.Post = postG.Len()
 	}
 
-	var clauseG *pairs.Set
+	var clauseG *pairs.Relation
 	switch e.opts.Strategy {
 	case RTCSharing:
 		r, err := e.getRTC(bu.R)
@@ -177,38 +221,47 @@ func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, err
 	return clauseG, act, nil
 }
 
-// subEvaluate evaluates a sub-query (Pre or R) with the engine's own
-// sharing strategy, memoising results so repeated sub-queries across
-// batch units and queries are not recomputed. The memo is per-engine,
-// not in the SharedCache: R_G pair sets can be O(|V|²), and keeping
-// them engine-local means they die with the engine while only the
-// compact closure structures persist process-wide. (Cross-engine R_G
-// deduplication still happens where it matters — R is evaluated inside
-// the structure's singleflight.) Memoised sets are immutable by
-// contract; every consumer only reads them. Sub-evaluation time counts
-// as Remainder: both sharing methods perform it identically.
-func (e *Engine) subEvaluate(q rpq.Expr) (*pairs.Set, error) {
+// subEvaluateRel evaluates a sub-query (Pre, Post or R) with the
+// engine's own sharing strategy and seals the result, memoising the
+// sealed relation in the SharedCache's relation region: repeated batch
+// units over the same Pre/Post — and every engine sharing the cache,
+// including the forks of EvaluateBatchParallel — reuse the same frozen
+// columns with zero copying, under the same singleflight discipline as
+// the closure structures. (The seed memoised map sets per engine because
+// they were heavyweight; a sealed relation is two exactly-sized int32
+// columns, cheap enough to keep process-wide, and Reset/ClearCaches
+// still drops them.) Sealed relations are immutable by contract; every
+// consumer only reads them. Sub-evaluation time counts as Remainder:
+// both sharing methods perform it identically.
+func (e *Engine) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 	if !e.shouldCache() {
-		return e.evaluateSharing(q)
+		return e.evaluatePlanned(q, nil)
 	}
 	key := q.String()
+	// The overflow memo holds relations the shared region's budget
+	// declined; normally it is empty and this is one cheap miss.
 	e.subMu.Lock()
-	res, ok := e.subResults[key]
+	rel, ok := e.subRels[key]
 	e.subMu.Unlock()
 	if ok {
-		return res, nil
+		return rel, nil
 	}
-	res, err := e.evaluateSharing(q)
+	val, _, retained, err := e.cache.GetOrComputeRelation(key, func() (any, error) {
+		return e.evaluatePlanned(q, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Concurrent evaluations of the same sub-query may both get here;
-	// both results are fresh, correct and immutable, so last-write-wins
-	// is fine — the duplicated work is bounded by one evaluation.
-	e.subMu.Lock()
-	e.subResults[key] = res
-	e.subMu.Unlock()
-	return res, nil
+	rel = val.(*pairs.Relation)
+	if !retained {
+		// Shared region full: keep the relation for this engine's
+		// lifetime (the seed's per-engine discipline as the fallback),
+		// so repeated batch units still reuse the columns.
+		e.subMu.Lock()
+		e.subRels[key] = rel
+		e.subMu.Unlock()
+	}
+	return rel, nil
 }
 
 // shouldCache reports whether shared structures and sub-results may be
@@ -231,7 +284,8 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 		e.countLookup(false, v.summary)
 		return v.structure, nil
 	}
-	val, computed, err := e.cache.GetOrCompute(nsRTC+r.String(), func() (any, error) {
+	key := nsRTC + r.String()
+	val, computed, err := e.cache.GetOrCompute(key, func() (any, error) {
 		return e.computeRTC(r)
 	})
 	if err != nil {
@@ -242,26 +296,48 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 	return v.structure, nil
 }
 
-// computeRTC evaluates R and builds its reduced transitive closure.
-// Evaluating R_G is Remainder; the reduction and TC(Ḡ_R) are Shared_Data.
-func (e *Engine) computeRTC(r rpq.Expr) (*rtcValue, error) {
-	rg, err := e.subEvaluate(r) // line 10: R_G via recursive RTCSharing
+// reduceR evaluates R under the engine's layout and performs the
+// edge-level reduction G → G_R. On the columnar layout the sealed
+// relation *is* G_R's forward adjacency — EdgeReduceRel aliases its
+// frozen columns and only derives the reverse CSR — while the map layout
+// re-sorts the pair set exactly as the seed did. The reduction is
+// performed identically by both sharing methods, so — like evaluating
+// R_G itself — it counts as Remainder, not Shared_Data (paper
+// Section V-A).
+func (e *Engine) reduceR(r rpq.Expr) (*graph.DiGraph, error) {
+	if e.opts.Layout == LayoutMapSet {
+		rg, err := e.subEvaluateMap(r)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
+		e.addRemainder(time.Since(t0))
+		return gr, nil
+	}
+	rg, err := e.subEvaluateRel(r)
 	if err != nil {
 		return nil, err
 	}
-
-	// The edge-level reduction G → G_R is performed identically by both
-	// sharing methods, so — like evaluating R_G — it counts as Remainder,
-	// not Shared_Data (paper Section V-A).
 	t0 := time.Now()
-	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
+	gr := rtc.EdgeReduceRel(e.g.NumVertices(), rg)
 	e.addRemainder(time.Since(t0))
+	return gr, nil
+}
+
+// computeRTC evaluates R and builds its reduced transitive closure.
+// Evaluating R_G is Remainder; the reduction and TC(Ḡ_R) are Shared_Data.
+func (e *Engine) computeRTC(r rpq.Expr) (*rtcValue, error) {
+	gr, err := e.reduceR(r) // line 10: R_G via recursive sharing evaluation
+	if err != nil {
+		return nil, err
+	}
 
 	// Shared_Data for RTCSharing: the vertex-level reduction (Tarjan +
 	// condensation) and TC(Ḡ_R). The paper attributes the reduction
 	// overhead here too — it is what makes RTCSharing slightly slower
 	// than FullSharing on the Yago2s shape.
-	t0 = time.Now()
+	t0 := time.Now()
 	structure := rtc.Compute(gr, e.opts.TCAlgo) // line 11: Compute_RTC
 	e.addShared(time.Since(t0))
 
@@ -303,18 +379,14 @@ func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 // computeFullClosure evaluates R and materialises the full closure of
 // the edge-level reduced graph G_R.
 func (e *Engine) computeFullClosure(r rpq.Expr) (*fullValue, error) {
-	rg, err := e.subEvaluate(r)
+	gr, err := e.reduceR(r)
 	if err != nil {
 		return nil, err
 	}
 
-	t0 := time.Now()
-	gr := rtc.EdgeReduce(e.g.NumVertices(), rg)
-	e.addRemainder(time.Since(t0))
-
 	// Shared_Data for FullSharing: the closure of the *unreduced* G_R —
 	// Table III's O(|V_R|·|E_R|) computation.
-	t0 = time.Now()
+	t0 := time.Now()
 	closure := tc.BFS(gr)
 	e.addShared(time.Since(t0))
 

@@ -51,6 +51,12 @@ type Evaluator struct {
 	seeds     []graph.VID
 	seedsOK   bool
 	seedsInit bool
+
+	// reach temporarily holds AppendReachFrom's output buffer. Keeping
+	// it on the evaluator (exclusively owned during a call) lets the
+	// emit closure capture only the receiver, so it never forces a heap
+	// cell for the buffer variable.
+	reach []graph.VID
 }
 
 type prodState struct {
@@ -135,6 +141,31 @@ func (ev *Evaluator) EvaluateAllParallel(workers int) *pairs.Set {
 	return merged
 }
 
+// AppendAll emits R_G into a relation builder instead of a set: every
+// (start, end) the traversal finds is appended raw. The traversal's
+// per-start visited stamps already guarantee each pair is emitted once,
+// so the builder receives a duplicate-free stream and Seal's dedup pass
+// is a no-op — the engine's columnar path evaluates a whole sub-query
+// with one sealed allocation and zero hashing.
+func (ev *Evaluator) AppendAll(out *pairs.Builder) {
+	for v := 0; v < ev.g.NumVertices(); v++ {
+		ev.appendVertex(graph.VID(v), out)
+	}
+}
+
+// AppendFrom is AppendAll restricted to the given start vertices.
+func (ev *Evaluator) AppendFrom(starts []graph.VID, out *pairs.Builder) {
+	for _, v := range starts {
+		ev.appendVertex(v, out)
+	}
+}
+
+func (ev *Evaluator) appendVertex(start graph.VID, out *pairs.Builder) {
+	ev.traverse(start, func(end graph.VID) {
+		out.Add(start, end)
+	})
+}
+
 // ReachFrom returns the end vertices of paths satisfying the query that
 // start at v — EvalRestrictedRPQ(Post, v) of Algorithm 2 line 14.
 func (ev *Evaluator) ReachFrom(v graph.VID) []graph.VID {
@@ -143,6 +174,20 @@ func (ev *Evaluator) ReachFrom(v graph.VID) []graph.VID {
 		ends = append(ends, end)
 	})
 	return ends
+}
+
+// AppendReachFrom is ReachFrom appending into a caller-owned buffer and
+// returning the extended buffer: the columnar joinPost keeps one pooled
+// buffer per batch unit and records (offset, end) spans into it, so the
+// per-vertex Post traversals allocate nothing once the buffer is warm.
+func (ev *Evaluator) AppendReachFrom(v graph.VID, buf []graph.VID) []graph.VID {
+	ev.reach = buf
+	ev.traverse(v, func(end graph.VID) {
+		ev.reach = append(ev.reach, end)
+	})
+	buf = ev.reach
+	ev.reach = nil
+	return buf
 }
 
 func (ev *Evaluator) evaluate(starts []graph.VID) *pairs.Set {

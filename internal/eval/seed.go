@@ -108,3 +108,18 @@ func (ev *Evaluator) EvaluateAllSeeded() *pairs.Set {
 	}
 	return ev.evaluate(ev.seeds)
 }
+
+// AppendAllSeeded is EvaluateAllSeeded emitting into a relation builder:
+// the seeded traversal when admissible, the full one otherwise, with
+// every result pair appended raw (the traversal already deduplicates).
+func (ev *Evaluator) AppendAllSeeded(out *pairs.Builder) {
+	if !ev.seedsInit {
+		ev.seeds, ev.seedsOK = CandidateStarts(ev.g, ev.expr)
+		ev.seedsInit = true
+	}
+	if !ev.seedsOK {
+		ev.AppendAll(out)
+		return
+	}
+	ev.AppendFrom(ev.seeds, out)
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // DiGraph is an immutable unlabeled simple directed graph in CSR form.
 // It represents the products of RPQ-based graph reduction: the edge-level
@@ -65,6 +68,59 @@ func (d *DiGraph) Edges(fn func(src, dst VID) bool) {
 	}
 }
 
+// DiGraphFromCSR builds a DiGraph directly from a src-grouped CSR whose
+// runs are already sorted ascending and duplicate-free — the invariant a
+// sealed pairs.Relation guarantees — skipping DiBuilder's global
+// edge sort entirely. The forward adjacency aliases the given columns
+// (the caller must never modify them; sealed relations are immutable, so
+// G_R shares the relation's frozen columns with zero copying); the
+// reverse adjacency is derived by one counting-sort pass.
+func DiGraphFromCSR(numVertices int, offsets []int32, dsts []VID) *DiGraph {
+	if len(offsets) != numVertices+1 {
+		panic("graph: CSR offsets length mismatch")
+	}
+	d := &DiGraph{
+		numVertices: numVertices,
+		numEdges:    len(dsts),
+		fwd:         adjacency{offsets: offsets, targets: dsts},
+	}
+
+	revOffsets, revTargets := TransposeCSR(numVertices, offsets, dsts)
+	d.rev = adjacency{offsets: revOffsets, targets: revTargets}
+
+	for v := 0; v < numVertices; v++ {
+		if d.fwd.degree(VID(v)) > 0 || d.rev.degree(VID(v)) > 0 {
+			d.active = append(d.active, VID(v))
+		}
+	}
+	return d
+}
+
+// TransposeCSR counting-sorts a src-grouped CSR into its dst-grouped
+// mirror: tOffsets[w]:tOffsets[w+1] index the sources pairing to w in
+// tTargets. Walking sources ascending appends each transposed run in
+// sorted order, so sortedness of the input runs carries over. Shared by
+// DiGraphFromCSR's reverse adjacency and pairs.Relation's lazy
+// transpose.
+func TransposeCSR(numVertices int, offsets []int32, dsts []VID) (tOffsets []int32, tTargets []VID) {
+	tOffsets = make([]int32, numVertices+1)
+	for _, w := range dsts {
+		tOffsets[w+1]++
+	}
+	for v := 0; v < numVertices; v++ {
+		tOffsets[v+1] += tOffsets[v]
+	}
+	tTargets = make([]VID, len(dsts))
+	cursor := make([]int32, numVertices)
+	for v := 0; v < numVertices; v++ {
+		for _, w := range dsts[offsets[v]:offsets[v+1]] {
+			tTargets[tOffsets[w]+cursor[w]] = VID(v)
+			cursor[w]++
+		}
+	}
+	return tOffsets, tTargets
+}
+
 // DiBuilder accumulates unlabeled edges and freezes them into a DiGraph.
 type DiBuilder struct {
 	numVertices int
@@ -78,6 +134,18 @@ func NewDiBuilder(numVertices int) *DiBuilder {
 		panic("graph: negative vertex count")
 	}
 	return &DiBuilder{numVertices: numVertices}
+}
+
+// NewDiBuilderCap is NewDiBuilder with the edge count preallocated, for
+// callers that know it up front (the condensation knows |E_R| exactly):
+// AddEdge then never grows the staging slices.
+func NewDiBuilderCap(numVertices, edgeCapacity int) *DiBuilder {
+	b := NewDiBuilder(numVertices)
+	if edgeCapacity > 0 {
+		b.srcs = make([]VID, 0, edgeCapacity)
+		b.dsts = make([]VID, 0, edgeCapacity)
+	}
+	return b
 }
 
 // AddEdge records the directed edge (src, dst). Duplicates are collapsed
@@ -102,21 +170,24 @@ func (b *DiBuilder) Build() *DiGraph {
 	for i := range b.srcs {
 		es[i] = Edge{Src: b.srcs[i], Dst: b.dsts[i]}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Src != es[j].Src {
-			return es[i].Src < es[j].Src
+	// slices.SortFunc rather than sort.Slice: no reflection-based
+	// swapper, no closure allocations — condensations are rebuilt for
+	// every shared structure, so this is warm-path code.
+	slices.SortFunc(es, func(a, b Edge) int {
+		if a.Src != b.Src {
+			return int(a.Src) - int(b.Src)
 		}
-		return es[i].Dst < es[j].Dst
+		return int(a.Dst) - int(b.Dst)
 	})
 	es = dedupEdges(es)
 
 	d := &DiGraph{numVertices: n, numEdges: len(es)}
 	d.fwd = buildCSR(n, es, false)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Dst != es[j].Dst {
-			return es[i].Dst < es[j].Dst
+	slices.SortFunc(es, func(a, b Edge) int {
+		if a.Dst != b.Dst {
+			return int(a.Dst) - int(b.Dst)
 		}
-		return es[i].Src < es[j].Src
+		return int(a.Src) - int(b.Src)
 	})
 	d.rev = buildCSR(n, es, true)
 

@@ -1,0 +1,222 @@
+package pairs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtcshare/internal/graph"
+)
+
+// randomPairs draws a pair multiset (duplicates deliberately likely) over
+// n vertices.
+func randomPairs(rng *rand.Rand, n, m int) []Pair {
+	ps := make([]Pair, m)
+	for i := range ps {
+		ps[i] = Pair{Src: graph.VID(rng.Intn(n)), Dst: graph.VID(rng.Intn(n))}
+	}
+	return ps
+}
+
+// Property: sealing a random pair multiset is equivalent to inserting it
+// into a Set — same length (dedup), same membership, same sorted pairs —
+// and the round trips Relation→Set→Relation and Set→Relation→Set are
+// identities.
+func TestRelationSetEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		ps := randomPairs(rng, n, rng.Intn(120))
+
+		set := FromPairs(ps...)
+		b := NewBuilder(n)
+		for _, p := range ps {
+			b.AddPair(p)
+		}
+		rel := b.Seal()
+
+		if rel.Len() != set.Len() || !rel.EqualSet(set) {
+			return false
+		}
+		// Membership agrees on present and absent pairs.
+		for i := 0; i < 40; i++ {
+			src, dst := graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n))
+			if rel.Contains(src, dst) != set.Contains(src, dst) {
+				return false
+			}
+		}
+		// Sorted enumerations agree pair for pair.
+		rp, sp := rel.Sorted(), set.Sorted()
+		for i := range rp {
+			if rp[i] != sp[i] {
+				return false
+			}
+		}
+		if !rel.ToSet().Equal(set) {
+			return false
+		}
+		return RelationFromSet(n, set).Equal(rel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DstsOf/SrcsOf return exactly the Set's per-vertex partners,
+// sorted and duplicate-free, and Srcs/Dsts match the Set's endpoint
+// projections.
+func TestRelationColumnsMatchSetProjections(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		ps := randomPairs(rng, n, rng.Intn(100))
+		set := FromPairs(ps...)
+		rel := RelationFromSet(n, set)
+
+		for v := graph.VID(0); int(v) < n; v++ {
+			var wantDsts, wantSrcs []graph.VID
+			set.Each(func(src, dst graph.VID) bool {
+				if src == v {
+					wantDsts = append(wantDsts, dst)
+				}
+				if dst == v {
+					wantSrcs = append(wantSrcs, src)
+				}
+				return true
+			})
+			if len(rel.DstsOf(v)) != len(wantDsts) || len(rel.SrcsOf(v)) != len(wantSrcs) {
+				return false
+			}
+			for _, run := range [][]graph.VID{rel.DstsOf(v), rel.SrcsOf(v)} {
+				for i := 1; i < len(run); i++ {
+					if run[i] <= run[i-1] {
+						return false
+					}
+				}
+			}
+		}
+		srcs, dsts := rel.Srcs(), rel.Dsts()
+		wantSrcs, wantDsts := set.Srcs(), set.Dsts()
+		if len(srcs) != len(wantSrcs) || len(dsts) != len(wantDsts) {
+			return false
+		}
+		for i := range srcs {
+			if srcs[i] != wantSrcs[i] {
+				return false
+			}
+		}
+		for i := range dsts {
+			if dsts[i] != wantDsts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EachSrc and EachDst visit exactly the non-empty runs in
+// ascending order, and their runs tile the whole relation.
+func TestRelationRunIteration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		rel := RelationFromPairs(n, randomPairs(rng, n, rng.Intn(80))...)
+
+		total, lastSrc := 0, graph.VID(-1)
+		ok := true
+		rel.EachSrc(func(src graph.VID, dsts []graph.VID) bool {
+			if src <= lastSrc || len(dsts) == 0 {
+				ok = false
+				return false
+			}
+			lastSrc = src
+			total += len(dsts)
+			return true
+		})
+		if !ok || total != rel.Len() {
+			return false
+		}
+		total, lastDst := 0, graph.VID(-1)
+		rel.EachDst(func(dst graph.VID, srcs []graph.VID) bool {
+			if dst <= lastDst || len(srcs) == 0 {
+				ok = false
+				return false
+			}
+			lastDst = dst
+			total += len(srcs)
+			return true
+		})
+		return ok && total == rel.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A builder is reusable after Seal: the second relation is independent
+// of the first and of the builder's recycled scratch.
+func TestBuilderReuse(t *testing.T) {
+	b := NewBuilder(8)
+	b.Add(1, 2)
+	b.Add(1, 2) // duplicate collapses
+	b.Add(3, 0)
+	first := b.Seal()
+	if first.Len() != 2 || !first.Contains(1, 2) || !first.Contains(3, 0) {
+		t.Fatalf("first seal = %v", first.Sorted())
+	}
+	if b.Len() != 0 {
+		t.Fatalf("builder not reset after Seal: %d pending", b.Len())
+	}
+	b.Add(7, 7)
+	second := b.Seal()
+	if second.Len() != 1 || !second.Contains(7, 7) {
+		t.Fatalf("second seal = %v", second.Sorted())
+	}
+	// The first relation is untouched by the reuse.
+	if first.Len() != 2 || !first.Contains(1, 2) {
+		t.Fatal("first relation corrupted by builder reuse")
+	}
+}
+
+// Long runs exercise the quicksort path of Seal.
+func TestSealLongRuns(t *testing.T) {
+	const n = 300
+	b := NewBuilder(n)
+	for i := n - 1; i >= 0; i-- {
+		b.Add(0, graph.VID(i))
+		b.Add(0, graph.VID(i)) // every pair duplicated
+	}
+	rel := b.Seal()
+	if rel.Len() != n {
+		t.Fatalf("Len = %d, want %d", rel.Len(), n)
+	}
+	run := rel.DstsOf(0)
+	for i := range run {
+		if run[i] != graph.VID(i) {
+			t.Fatalf("run[%d] = %d", i, run[i])
+		}
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	rel := NewBuilder(5).Seal()
+	if rel.Len() != 0 || rel.NumVertices() != 5 {
+		t.Fatalf("empty relation: len=%d n=%d", rel.Len(), rel.NumVertices())
+	}
+	if got := rel.DstsOf(3); len(got) != 0 {
+		t.Fatalf("DstsOf on empty = %v", got)
+	}
+	if got := rel.SrcsOf(3); len(got) != 0 {
+		t.Fatalf("SrcsOf on empty = %v", got)
+	}
+	if !rel.EqualSet(NewSet()) {
+		t.Fatal("empty relation != empty set")
+	}
+	zero := NewBuilder(0).Seal()
+	if zero.Len() != 0 {
+		t.Fatal("zero-vertex relation not empty")
+	}
+}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"math"
+	"sync"
 
 	"rtcshare/internal/graph"
 	"rtcshare/internal/rpq"
@@ -15,19 +16,50 @@ type Config struct {
 	// structure for a sub-query R is already cached — a sunk cost the
 	// model then excludes. Nil means never cached.
 	SharedCached func(r rpq.Expr) bool
+	// ColumnarJoins marks an executor whose batch-unit joins probe
+	// sealed columnar relations instead of re-bucketed map sets; the
+	// cost model then charges join tuples at the columnar rate
+	// (columnarJoinTuple vs mapJoinTuple).
+	ColumnarJoins bool
 }
 
-// Planner plans DNF clauses for one graph. It is immutable after New
-// (the SharedCached callback may consult mutable state of its own) and
-// safe for concurrent use.
+// Planner plans DNF clauses for one graph. It is safe for concurrent
+// use: its configuration and estimator are immutable after New (the
+// SharedCached callback may consult mutable state of its own), and the
+// only mutable state is the mutex-guarded decomposition memo.
 type Planner struct {
 	est *Estimator
 	cfg Config
+
+	// unitsMu guards units, the memo of clause decompositions.
+	// DecomposeAll is a pure function of the clause but rebuilds the
+	// Pre/Post concatenations on every call; batch evaluation re-plans
+	// the same clause shapes constantly, so the memo keeps steady-state
+	// planning allocation-free. Memoised slices are immutable by
+	// contract.
+	unitsMu sync.Mutex
+	units   map[string][]rpq.BatchUnit
 }
 
 // New builds a planner over g's statistics.
 func New(g *graph.Graph, cfg Config) *Planner {
-	return &Planner{est: NewEstimator(g), cfg: cfg}
+	return &Planner{est: NewEstimator(g), cfg: cfg, units: make(map[string][]rpq.BatchUnit)}
+}
+
+// decomposeAll returns the memoised clause decomposition.
+func (p *Planner) decomposeAll(clause rpq.Expr) []rpq.BatchUnit {
+	key := clause.String()
+	p.unitsMu.Lock()
+	units, ok := p.units[key]
+	p.unitsMu.Unlock()
+	if ok {
+		return units
+	}
+	units = rpq.DecomposeAll(clause)
+	p.unitsMu.Lock()
+	p.units[key] = units
+	p.unitsMu.Unlock()
+	return units
 }
 
 // Estimator exposes the planner's cardinality estimator.
@@ -54,17 +86,43 @@ const deviationMargin = 0.6
 // amortisation for the whole set.
 const buildDiscount = 0.25
 
-// deviationFloor, in units of |V|, is the minimum predicted cost of the
-// heuristic default before alternative *shared* plans (backward
-// direction, non-rightmost anchors) are considered. Below it the
-// clause's whole execution is within a couple hundred tuple touches per
-// vertex: the constant factors those alternatives add — materialising
-// the other side relation, bucketing it, building the transposed
+// deviationFloor, in units of |V| join-tuple costs, is the minimum
+// predicted cost of the heuristic default before alternative *shared*
+// plans (backward direction, non-rightmost anchors) are considered.
+// Below it the clause's whole execution is within a couple hundred
+// tuple touches per vertex: the constant factors those alternatives add
+// — materialising the other side relation, building the transposed
 // closure — dominate there, and the forward pipeline's single pass wins
 // regardless of what the asymptotic estimates say. The automaton bypass
 // is exempt: it removes work (no structure, no side relations) rather
-// than adding any, so it may compete at any scale.
+// than adding any, so it may compete at any scale. The floor is
+// expressed in tuple units and scaled by the layout's per-tuple cost,
+// so switching executors moves the absolute cost threshold but not the
+// "how much real work" threshold it encodes.
 const deviationFloor = 200
+
+// mapJoinTuple and columnarJoinTuple are the per-tuple costs of the
+// batch-unit join pipeline. The model's original unit was one map-join
+// tuple touch (iterate a hash map in random order, re-bucket per call,
+// insert results through a hash table), so the map executor stays at
+// 1.0 and the PR-2 cost model is its special case. The columnar
+// executor walks sealed CSR runs sequentially and appends results into
+// pooled builders; the rpqbench layout experiment (BENCH_layout.json)
+// puts its join phase at roughly half the map cost per tuple, hence
+// 0.5. Only the ratio matters to plan choice: cheaper join tuples shift
+// the bypass/shared break-even toward shared plans.
+const (
+	mapJoinTuple      = 1.0
+	columnarJoinTuple = 0.5
+)
+
+// joinTuple returns the per-tuple join cost for the configured layout.
+func (p *Planner) joinTuple() float64 {
+	if p.cfg.ColumnarJoins {
+		return columnarJoinTuple
+	}
+	return mapJoinTuple
+}
 
 // Plan plans a query whose DNF clauses have already been computed (the
 // engine owns the DNF bound, so the conversion stays there).
@@ -78,7 +136,7 @@ func (p *Planner) Plan(q rpq.Expr, clauses []rpq.Expr) *QueryPlan {
 
 // PlanClause plans one DNF clause.
 func (p *Planner) PlanClause(clause rpq.Expr) ClausePlan {
-	units := rpq.DecomposeAll(clause)
+	units := p.decomposeAll(clause)
 	if units[0].Type == rpq.ClosureNone {
 		// Closure-free: the automaton product is the only operator.
 		cp := p.automatonPlan(clause, units[0])
@@ -95,7 +153,7 @@ func (p *Planner) PlanClause(clause rpq.Expr) ClausePlan {
 	// bypass. The heuristic default only loses to a candidate that beats
 	// it by the deviation margin.
 	candidates := []ClausePlan{p.automatonPlan(clause, rightmost)}
-	if def.Est.Cost >= deviationFloor*p.est.v {
+	if def.Est.Cost >= deviationFloor*p.joinTuple()*p.est.v {
 		for _, u := range units {
 			if u.Anchor != rightmost.Anchor {
 				candidates = append(candidates, p.sharedPlan(clause, u, Forward))
@@ -139,9 +197,11 @@ func (p *Planner) automatonPlan(clause rpq.Expr, unit rpq.BatchUnit) ClausePlan 
 //	backward: |Post_G| + Dsts(Post)·fanin(R+)   (mirror, deduped per v_l)
 //	          each tuple extended by Pre's per-vertex fan-in
 //
-// plus the automaton cost of the side relations it must materialise and
-// — unless the structure is already cached — of evaluating R and
-// closing its reduced graph.
+// Join tuples are charged at the layout's per-tuple rate (joinTuple):
+// the columnar executor streams sealed CSR runs, the map executor
+// re-buckets and hashes. Traversal terms — the side relations it must
+// materialise, the memoised Post traversals, and (unless cached)
+// evaluating R and closing its reduced graph — are layout-independent.
 func (p *Planner) sharedPlan(clause rpq.Expr, unit rpq.BatchUnit, dir Direction) ClausePlan {
 	pre := p.est.Expr(unit.Pre)
 	post := p.est.Expr(unit.Post)
@@ -154,6 +214,7 @@ func (p *Planner) sharedPlan(clause rpq.Expr, unit rpq.BatchUnit, dir Direction)
 		shared = (p.est.evalCost(unit.R) + r.Pairs + tc.Pairs) * buildDiscount
 	}
 
+	jt := p.joinTuple()
 	var cost, out float64
 	switch dir {
 	case Forward:
@@ -163,14 +224,14 @@ func (p *Planner) sharedPlan(clause rpq.Expr, unit rpq.BatchUnit, dir Direction)
 		// Post traversals run once per distinct v_k (memoised), each
 		// paying the adjacency-scan factor like any traversal.
 		distinctVk := math.Min(mid, p.est.NumVertices())
-		cost = p.est.evalCost(unit.Pre) + shared + mid*(1+postFan) +
+		cost = p.est.evalCost(unit.Pre) + shared + mid*(1+postFan)*jt +
 			distinctVk*postFan*p.est.scanFactor()
 		out = mid * postFan
 	case Backward:
 		fanin := tc.Pairs / math.Max(tc.Dsts, 1)
 		mid := post.Pairs + post.Dsts*fanin
 		preFan := pre.Pairs / math.Max(pre.Dsts, 1)
-		cost = p.est.evalCost(unit.Pre) + p.est.evalCost(unit.Post) + shared + mid*(1+preFan)
+		cost = p.est.evalCost(unit.Pre) + p.est.evalCost(unit.Post) + shared + mid*(1+preFan)*jt
 		out = mid * preFan
 	}
 	vv := p.est.NumVertices() * p.est.NumVertices()

@@ -31,6 +31,11 @@ const (
 	PurdomClosure
 	// NuutilaClosure runs Nuutila's interleaved algorithm [13].
 	NuutilaClosure
+	// BitsetClosure runs the density-selected hybrid of tc.Bitset: a
+	// word-parallel flat-slab bitset DP in reverse topological order for
+	// dense condensations, a worker-parallel per-source frontier BFS for
+	// sparse ones.
+	BitsetClosure
 )
 
 func (a TCAlgorithm) String() string {
@@ -41,17 +46,24 @@ func (a TCAlgorithm) String() string {
 		return "purdom"
 	case NuutilaClosure:
 		return "nuutila"
+	case BitsetClosure:
+		return "bitset"
 	}
 	return "unknown"
 }
 
-// closureFunc returns the tc implementation for the algorithm.
+// closureFunc returns the tc implementation for the algorithm. The
+// bitset hybrid gets the topo-aware entry point: Compute always hands
+// it a condensation whose SIDs are already in reverse topological
+// order, so the second Tarjan pass tc.Bitset would run is skipped.
 func (a TCAlgorithm) closureFunc() func(*graph.DiGraph) *tc.Closure {
 	switch a {
 	case PurdomClosure:
 		return tc.Purdom
 	case NuutilaClosure:
 		return tc.Nuutila
+	case BitsetClosure:
+		return tc.BitsetTopo
 	default:
 		return tc.BFS
 	}
@@ -87,6 +99,16 @@ func Compute(gr *graph.DiGraph, algo TCAlgorithm) *RTC {
 		condensation: cond,
 		closure:      algo.closureFunc()(cond),
 	}
+}
+
+// EdgeReduceRel is EdgeReduce for a sealed columnar relation. A sealed
+// Relation is already a src-grouped CSR with sorted duplicate-free runs
+// — exactly a DiGraph's forward adjacency — so G_R aliases the
+// relation's frozen columns and only the reverse adjacency is computed
+// (one counting-sort pass, no global edge sort).
+func EdgeReduceRel(numVertices int, rg *pairs.Relation) *graph.DiGraph {
+	offsets, dsts := rg.CSR()
+	return graph.DiGraphFromCSR(numVertices, offsets, dsts)
 }
 
 // ComputeFromResult builds the RTC directly from an evaluation result

@@ -193,3 +193,54 @@ func TestRTCNoLargerThanFullClosure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the zero-copy CSR reduction from a sealed relation builds
+// exactly the digraph the pair-set reduction builds, and RTCs computed
+// over either — with any closure algorithm, including the new bitset
+// hybrid — agree.
+func TestEdgeReduceRelMatchesEdgeReduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		rg := pairs.NewSet()
+		for i := rng.Intn(90); i > 0; i-- {
+			rg.Add(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)))
+		}
+		rel := pairs.RelationFromSet(n, rg)
+
+		want := EdgeReduce(n, rg)
+		got := EdgeReduceRel(n, rel)
+		if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() ||
+			got.NumActive() != want.NumActive() {
+			return false
+		}
+		for v := graph.VID(0); int(v) < n; v++ {
+			ws, wd := got.Successors(v), want.Successors(v)
+			ps, pd := got.Predecessors(v), want.Predecessors(v)
+			if len(ws) != len(wd) || len(ps) != len(pd) {
+				return false
+			}
+			for i := range ws {
+				if ws[i] != wd[i] {
+					return false
+				}
+			}
+			for i := range ps {
+				if ps[i] != pd[i] {
+					return false
+				}
+			}
+		}
+		for _, algo := range []TCAlgorithm{BFSClosure, BitsetClosure} {
+			a := Compute(got, algo)
+			b := Compute(want, BFSClosure)
+			if !a.Closure().Equal(b.Closure()) || !a.Expand().Equal(b.Expand()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,11 @@
 // edges become a self-loop, and inter-SCC edges collapse to one edge.
 package scc
 
-import "rtcshare/internal/graph"
+import (
+	"slices"
+
+	"rtcshare/internal/graph"
+)
 
 // Components is the SCC decomposition of the active subgraph of a DiGraph.
 //
@@ -124,7 +128,7 @@ func Tarjan(d *graph.DiGraph) *Components {
 				}
 				// Tarjan pops members in reverse DFS order; sort for a
 				// deterministic public representation.
-				sortVIDs(members)
+				slices.Sort(members)
 				comp.Members = append(comp.Members, members)
 			}
 		}
@@ -132,21 +136,12 @@ func Tarjan(d *graph.DiGraph) *Components {
 	return comp
 }
 
-func sortVIDs(vs []graph.VID) {
-	// Insertion sort: component member lists are typically tiny.
-	for i := 1; i < len(vs); i++ {
-		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
-			vs[j], vs[j-1] = vs[j-1], vs[j]
-		}
-	}
-}
-
 // Condense builds the vertex-level reduced graph Ḡ_R over SIDs:
 // one vertex per SCC, one self-loop per component containing at least one
 // intra-component edge, and one edge s_k → s_l per pair of components
 // connected by at least one edge of d.
 func Condense(d *graph.DiGraph, c *Components) *graph.DiGraph {
-	b := graph.NewDiBuilder(c.NumComponents())
+	b := graph.NewDiBuilderCap(c.NumComponents(), d.NumEdges())
 	d.Edges(func(src, dst graph.VID) bool {
 		b.AddEdge(c.CompOf[src], c.CompOf[dst])
 		return true

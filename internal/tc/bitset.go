@@ -1,0 +1,259 @@
+package tc
+
+// This file implements word-parallel and worker-parallel closure
+// construction: the fourth algorithm next to BFS, Purdom and Nuutila.
+// Like Purdom it works on the condensation, but the successor sets live
+// in one contiguous []uint64 slab — a row per component, unioned 64
+// components per instruction in reverse topological order — and for
+// condensations too sparse to pay for dense rows it switches to a
+// per-source frontier BFS fanned over worker goroutines. The two paths
+// produce identical Closures; the selection is purely a constant-factor
+// decision.
+
+import (
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/scc"
+)
+
+// denseBreakEven decides between the dense and sparse paths. The dense
+// DP touches (k/64) words per condensation edge; the sparse BFS touches
+// one queue slot per reached component per source. With r = the mean
+// fraction of components a component reaches, dense work is
+// |Ē|·k/64 word-ops and sparse work is ~k·(r·k) slot-ops, so dense wins
+// once reach sets are denser than one component in 64 — true for the
+// shallow, cyclic condensations closure sub-queries produce, false for
+// long chain-like DAGs. r is unknown before the closure exists, so the
+// heuristic uses the condensation's mean degree |Ē|/k as its proxy:
+// degree ≥ 1 graphs percolate (reach sets a constant fraction of k),
+// anything sparser stays with per-source BFS.
+const denseBreakEven = 1.0
+
+// Bitset computes the closure over the condensation with a density-
+// selected strategy: a word-parallel bitset DP for dense condensations,
+// a worker-parallel per-source frontier BFS for sparse ones. It is the
+// default closure for the columnar engine layout; tc_test.go holds it to
+// the same outputs as BFS, Purdom and Nuutila.
+func Bitset(d *graph.DiGraph) *Closure {
+	comps := scc.Tarjan(d)
+	k := comps.NumComponents()
+	if k == 0 {
+		return &Closure{numVertices: d.NumVertices(), succ: make([][]graph.VID, d.NumVertices())}
+	}
+	cond := scc.Condense(d, comps)
+	if float64(cond.NumEdges()) >= denseBreakEven*float64(k) {
+		return bitsetDense(d.NumVertices(), comps, cond)
+	}
+	return bitsetSparse(d.NumVertices(), comps, cond)
+}
+
+// BitsetTopo computes the closure of a digraph whose vertex numbering
+// is already reverse topological modulo self-loops — every edge s→t has
+// t ≤ s — which is exactly the shape scc.Condense produces from
+// Tarjan's components (SIDs are emitted in reverse topological order).
+// Components of such a graph are singletons, so rtc.Compute hands its
+// freshly built condensation Ḡ_R here directly and skips the second
+// Tarjan+Condense pass Bitset would spend re-deriving what the caller
+// already knows. The ordering precondition is verified in one O(|E|)
+// scan; inputs that violate it fall back to Bitset, so the function is
+// correct on any digraph.
+func BitsetTopo(d *graph.DiGraph) *Closure {
+	ordered := true
+	d.Edges(func(s, t graph.VID) bool {
+		if t > s {
+			ordered = false
+			return false
+		}
+		return true
+	})
+	if !ordered {
+		return Bitset(d)
+	}
+	k := d.NumVertices()
+	if k == 0 {
+		return &Closure{numVertices: 0, succ: nil}
+	}
+	if float64(d.NumEdges()) >= denseBreakEven*float64(k) {
+		return bitsetTopoDense(d)
+	}
+	return bitsetTopoSparse(d)
+}
+
+// bitsetTopoDense is bitsetDense with singleton components: rows are
+// indexed by vertex, and each finished row is decoded straight into the
+// sorted successor slice (ascending bit order is ascending VID order).
+func bitsetTopoDense(d *graph.DiGraph) *Closure {
+	k := d.NumVertices()
+	words := (k + 63) / 64
+	slab := make([]uint64, k*words)
+	for s := 0; s < k; s++ {
+		row := bitset(slab[s*words : (s+1)*words])
+		for _, t := range d.Successors(graph.VID(s)) {
+			row.set(t)
+			if int(t) != s {
+				row.or(slab[int(t)*words : (int(t)+1)*words])
+			}
+		}
+	}
+	c := &Closure{numVertices: k, succ: make([][]graph.VID, k)}
+	for s := 0; s < k; s++ {
+		row := bitset(slab[s*words : (s+1)*words])
+		n := row.count()
+		if n == 0 {
+			continue
+		}
+		out := make([]graph.VID, 0, n)
+		for w, word := range row {
+			for word != 0 {
+				out = append(out, graph.VID(w*64+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		c.succ[s] = out
+		c.numPairs += n
+	}
+	return c
+}
+
+// bitsetTopoSparse is bitsetSparse with singleton components: the
+// per-source reach lists are the successor slices themselves, sorted.
+func bitsetTopoSparse(d *graph.DiGraph) *Closure {
+	k := d.NumVertices()
+	lists := reachLists(d)
+	c := &Closure{numVertices: k, succ: make([][]graph.VID, k)}
+	for s, reach := range lists {
+		if len(reach) == 0 {
+			continue
+		}
+		slices.Sort(reach)
+		c.succ[s] = reach
+		c.numPairs += len(reach)
+	}
+	return c
+}
+
+// bitsetDense is the word-parallel path: one bitset row per component in
+// a single flat slab, rows unioned with 64-bit ors in reverse
+// topological order. Tarjan emits components in reverse topological
+// order, so SIDs 0..k-1 are a valid processing order — every successor
+// of a component has a smaller SID and therefore a finished row.
+func bitsetDense(numVertices int, comps *scc.Components, cond *graph.DiGraph) *Closure {
+	k := comps.NumComponents()
+	words := (k + 63) / 64
+	slab := make([]uint64, k*words)
+	reach := make([]bitset, k)
+	for s := int32(0); s < int32(k); s++ {
+		row := bitset(slab[int(s)*words : (int(s)+1)*words])
+		for _, t := range cond.Successors(s) {
+			row.set(t)
+			if t != s {
+				row.or(reach[t])
+			}
+		}
+		reach[s] = row
+	}
+	return expand(numVertices, comps, reach)
+}
+
+// bitsetSparse is the worker-parallel path: an independent frontier BFS
+// over the condensation per source component, then SCC-wise expansion.
+func bitsetSparse(numVertices int, comps *scc.Components, cond *graph.DiGraph) *Closure {
+	return expandLists(numVertices, comps, reachLists(cond))
+}
+
+// reachLists runs one frontier BFS per source vertex of d, vertices
+// strided across GOMAXPROCS workers, each worker reusing one
+// generation-stamped visited array and one queue. lists[s] holds the
+// vertices reachable from s by a path of length ≥ 1, in visit order;
+// per-source slots are disjoint, so the only coordination is the
+// WaitGroup and the result is deterministic for any worker count.
+func reachLists(d *graph.DiGraph) [][]graph.VID {
+	k := d.NumVertices()
+	lists := make([][]graph.VID, k)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			visited := make([]uint32, k)
+			gen := uint32(0)
+			queue := make([]graph.VID, 0, 64)
+			for s := int32(w); s < int32(k); s += int32(workers) {
+				if d.OutDegree(s) == 0 {
+					continue
+				}
+				gen++
+				queue = queue[:0]
+				var reach []graph.VID
+				// Seed with s's successors; s itself is reachable only
+				// through a cycle (here: a self-loop edge).
+				for _, t := range d.Successors(s) {
+					if visited[t] != gen {
+						visited[t] = gen
+						queue = append(queue, t)
+						reach = append(reach, t)
+					}
+				}
+				for len(queue) > 0 {
+					u := queue[len(queue)-1]
+					queue = queue[:len(queue)-1]
+					for _, t := range d.Successors(u) {
+						if visited[t] != gen {
+							visited[t] = gen
+							queue = append(queue, t)
+							reach = append(reach, t)
+						}
+					}
+				}
+				lists[s] = reach
+			}
+		}(w)
+	}
+	wg.Wait()
+	return lists
+}
+
+// expandLists is expand for per-component reach lists instead of
+// bitsets: u reaches every member of every component in
+// lists[comp(u)] (Lemma 3 / Theorem 1).
+func expandLists(numVertices int, comps *scc.Components, lists [][]graph.VID) *Closure {
+	c := &Closure{numVertices: numVertices, succ: make([][]graph.VID, numVertices)}
+	k := comps.NumComponents()
+
+	expanded := make([][]graph.VID, k)
+	for s := int32(0); s < int32(k); s++ {
+		if len(lists[s]) == 0 {
+			continue
+		}
+		size := 0
+		for _, t := range lists[s] {
+			size += len(comps.Members[t])
+		}
+		out := make([]graph.VID, 0, size)
+		for _, t := range lists[s] {
+			out = append(out, comps.Members[t]...)
+		}
+		slices.Sort(out)
+		expanded[s] = out
+	}
+	for _, vs := range comps.Members {
+		for _, u := range vs {
+			s := comps.CompOf[u]
+			c.succ[u] = expanded[s]
+			c.numPairs += len(expanded[s])
+		}
+	}
+	return c
+}

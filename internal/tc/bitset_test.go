@@ -1,0 +1,126 @@
+package tc
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/scc"
+)
+
+// The density heuristic must route chain-like (sparse) condensations to
+// the BFS path and cyclic/dense ones to the slab DP; both must agree
+// with the oracle either way. This pins the selection boundary so a
+// future tweak to denseBreakEven is a conscious decision.
+func TestBitsetPathSelection(t *testing.T) {
+	// A pure chain of n singleton components: condensation has n vertices
+	// and n-1 edges, mean degree < 1 → sparse path.
+	chain := graph.NewDiBuilder(64)
+	for i := 0; i < 63; i++ {
+		chain.AddEdge(graph.VID(i), graph.VID(i+1))
+	}
+	d := chain.Build()
+	comps := scc.Tarjan(d)
+	cond := scc.Condense(d, comps)
+	if got := float64(cond.NumEdges()) >= denseBreakEven*float64(comps.NumComponents()); got {
+		t.Errorf("chain condensation classified dense (|Ē|=%d, k=%d)", cond.NumEdges(), comps.NumComponents())
+	}
+
+	// A dense random digraph percolates: mean condensation degree ≥ 1.
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewDiBuilder(40)
+	for i := 0; i < 400; i++ {
+		b.AddEdge(graph.VID(rng.Intn(40)), graph.VID(rng.Intn(40)))
+	}
+	d2 := b.Build()
+	comps2 := scc.Tarjan(d2)
+	cond2 := scc.Condense(d2, comps2)
+	if got := float64(cond2.NumEdges()) >= denseBreakEven*float64(comps2.NumComponents()); !got {
+		t.Errorf("dense condensation classified sparse (|Ē|=%d, k=%d)", cond2.NumEdges(), comps2.NumComponents())
+	}
+
+	// Whichever half runs, the result matches the oracle on both shapes.
+	for _, g := range []*graph.DiGraph{d, d2} {
+		if !Bitset(g).ToPairs().Equal(floydWarshall(g)) {
+			t.Error("Bitset disagrees with Floyd-Warshall")
+		}
+	}
+}
+
+// The sparse path's worker fan-out must be deterministic: lists land in
+// per-source slots, so any worker count yields the same closure.
+func TestBitsetSparseDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := graph.NewDiBuilder(200)
+	for i := 0; i < 220; i++ {
+		b.AddEdge(graph.VID(rng.Intn(200)), graph.VID(rng.Intn(200)))
+	}
+	d := b.Build()
+	comps := scc.Tarjan(d)
+	cond := scc.Condense(d, comps)
+	want := bitsetSparse(d.NumVertices(), comps, cond)
+	for i := 0; i < 3; i++ {
+		if !bitsetSparse(d.NumVertices(), comps, cond).Equal(want) {
+			t.Fatal("sparse closure not deterministic across runs")
+		}
+	}
+	if !want.ToPairs().Equal(floydWarshall(d)) {
+		t.Fatal("sparse closure disagrees with Floyd-Warshall")
+	}
+}
+
+// Bitset on a graph wider than one word exercises multi-word rows.
+func TestBitsetMultiWordRows(t *testing.T) {
+	// 150 singleton components all reachable from component 0's SCC via a
+	// binary-tree fan-out, plus a 3-cycle to keep a non-trivial SCC.
+	b := graph.NewDiBuilder(160)
+	for i := 0; i < 74; i++ {
+		b.AddEdge(graph.VID(i), graph.VID(2*i+1))
+		b.AddEdge(graph.VID(i), graph.VID(2*i+2))
+	}
+	b.AddEdge(150, 151)
+	b.AddEdge(151, 152)
+	b.AddEdge(152, 150)
+	b.AddEdge(152, 0)
+	d := b.Build()
+	if !Bitset(d).ToPairs().Equal(floydWarshall(d)) {
+		t.Fatal("multi-word Bitset disagrees with Floyd-Warshall")
+	}
+}
+
+// BitsetTopo's fast paths run on condensation-shaped inputs (every edge
+// s→t with t ≤ s). Property: on the condensation of a random digraph,
+// both forced halves and the auto-selected entry agree with BFS over
+// the same condensation, and the precondition check really routes
+// around the fallback.
+func TestBitsetTopoOnCondensations(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		n := 2 + rng.Intn(60)
+		b := graph.NewDiBuilder(n)
+		for i := rng.Intn(4 * n); i > 0; i-- {
+			b.AddEdge(graph.VID(rng.Intn(n)), graph.VID(rng.Intn(n)))
+		}
+		d := b.Build()
+		comps := scc.Tarjan(d)
+		cond := scc.Condense(d, comps)
+
+		want := BFS(cond)
+		for name, got := range map[string]*Closure{
+			"auto":   BitsetTopo(cond),
+			"dense":  bitsetTopoDense(cond),
+			"sparse": bitsetTopoSparse(cond),
+		} {
+			if !got.Equal(want) {
+				t.Fatalf("seed %d: BitsetTopo(%s) disagrees with BFS on the condensation", seed, name)
+			}
+		}
+	}
+
+	// A graph violating the ordering (an edge to a higher vertex) must
+	// take the fallback and still be correct.
+	viol := digraph(4, [][2]graph.VID{{0, 2}, {2, 1}, {1, 3}})
+	if !BitsetTopo(viol).ToPairs().Equal(floydWarshall(viol)) {
+		t.Fatal("BitsetTopo fallback disagrees with Floyd-Warshall")
+	}
+}

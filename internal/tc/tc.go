@@ -1,6 +1,6 @@
 // Package tc computes transitive closures of unlabeled digraphs.
 //
-// Three algorithms are provided:
+// Four algorithms are provided:
 //
 //   - BFS: a per-vertex breadth-first search, O(|V|·|E|). This is the
 //     closure computation the paper assigns to both methods in Table III
@@ -10,14 +10,19 @@
 //   - Nuutila: Nuutila's improvement [13] — successor sets are built
 //     during Tarjan's traversal, exploiting the reverse topological
 //     emission order, with no separate condensation pass.
+//   - Bitset: a hybrid chosen by condensation density (bitset.go) — a
+//     word-parallel flat-slab bitset DP in reverse topological order for
+//     dense condensations, a worker-parallel per-source frontier BFS for
+//     sparse ones.
 //
-// All three produce identical Closures; properties in tc_test.go enforce
+// All four produce identical Closures; properties in tc_test.go enforce
 // it. The closure follows the paper's semantics: (u, w) ∈ TC iff a path
 // of length ≥ 1 leads from u to w, so (u, u) requires a cycle through u.
 package tc
 
 import (
 	"math/bits"
+	"slices"
 	"sort"
 	"sync"
 
@@ -263,19 +268,27 @@ func expand(numVertices int, comps *scc.Components, reach []bitset) *Closure {
 	k := comps.NumComponents()
 
 	// Precompute the expanded successor list per component once; all its
-	// members share it (Lemma 2).
+	// members share it (Lemma 2). Each list is sized exactly before
+	// filling — expansion runs once per shared structure, so its
+	// allocations are warm-path.
 	expanded := make([][]graph.VID, k)
 	for s := int32(0); s < int32(k); s++ {
 		if reach[s].count() == 0 {
 			continue
 		}
-		var out []graph.VID
+		size := 0
+		for t := int32(0); t < int32(k); t++ {
+			if reach[s].get(t) {
+				size += len(comps.Members[t])
+			}
+		}
+		out := make([]graph.VID, 0, size)
 		for t := int32(0); t < int32(k); t++ {
 			if reach[s].get(t) {
 				out = append(out, comps.Members[t]...)
 			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		expanded[s] = out
 	}
 	for _, vs := range comps.Members {

@@ -7,6 +7,7 @@ import (
 
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
+	"rtcshare/internal/scc"
 )
 
 func digraph(n int, edges [][2]graph.VID) *graph.DiGraph {
@@ -42,6 +43,27 @@ func algorithms() map[string]func(*graph.DiGraph) *Closure {
 		"BFS":     BFS,
 		"Purdom":  Purdom,
 		"Nuutila": Nuutila,
+		"Bitset":  Bitset,
+		// BitsetTopo falls back to Bitset off the reverse-topological
+		// precondition, so it is total; condensation-shaped inputs that
+		// exercise its fast paths are covered in bitset_test.go.
+		"BitsetTopo": BitsetTopo,
+		// The two halves of Bitset, forced regardless of what the density
+		// heuristic would pick, so both stay correct on every shape.
+		"BitsetDense": func(d *graph.DiGraph) *Closure {
+			comps := scc.Tarjan(d)
+			if comps.NumComponents() == 0 {
+				return Bitset(d)
+			}
+			return bitsetDense(d.NumVertices(), comps, scc.Condense(d, comps))
+		},
+		"BitsetSparse": func(d *graph.DiGraph) *Closure {
+			comps := scc.Tarjan(d)
+			if comps.NumComponents() == 0 {
+				return Bitset(d)
+			}
+			return bitsetSparse(d.NumVertices(), comps, scc.Condense(d, comps))
+		},
 	}
 }
 

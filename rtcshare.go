@@ -93,6 +93,13 @@ type Pair = pairs.Pair
 // pairs (Definition 2 of the paper).
 type Result = pairs.Set
 
+// Relation is an immutable, columnar evaluation result: pairs grouped
+// by start vertex in sorted CSR runs, with a lazily built end-vertex
+// transpose. Engine.EvaluateRel returns results in this form without
+// materialising a hash set — the cheapest way to consume large results
+// (iterate with Each/EachSrc, probe with Contains).
+type Relation = pairs.Relation
+
 // Strategy selects the multi-query evaluation method.
 type Strategy = core.Strategy
 
@@ -118,6 +125,26 @@ const (
 	PurdomClosure = rtc.PurdomClosure
 	// NuutilaClosure is Nuutila's interleaved algorithm (IPL 1994).
 	NuutilaClosure = rtc.NuutilaClosure
+	// BitsetClosure is a density-selected hybrid: a word-parallel bitset
+	// DP over the condensation in reverse topological order for dense
+	// reduced graphs, a worker-parallel per-source frontier BFS for
+	// sparse ones. Typically the fastest choice on closure-heavy
+	// workloads (see BENCH_layout.json).
+	BitsetClosure = rtc.BitsetClosure
+)
+
+// Layout selects the engine executor's relation representation
+// (Options.Layout).
+type Layout = core.Layout
+
+const (
+	// LayoutColumnar is the default: sub-query results are sealed into
+	// immutable columnar relations (CSR runs, lazily transposed) that
+	// batch units probe directly and engines share without copying.
+	LayoutColumnar = core.LayoutColumnar
+	// LayoutMapSet is the seed's map-based executor, kept as the
+	// baseline of the rpqbench layout experiment.
+	LayoutMapSet = core.LayoutMapSet
 )
 
 // Options configure an Engine. The zero value selects RTCSharing with
