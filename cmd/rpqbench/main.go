@@ -5,6 +5,7 @@
 //	rpqbench -experiment fig10a            # one experiment
 //	rpqbench -experiment planner           # cost-based vs rightmost planner
 //	rpqbench -experiment layout            # map-set vs columnar, bfs vs bitset
+//	rpqbench -experiment updates           # incremental maintenance vs rebuild
 //	rpqbench -experiment all               # everything (minutes)
 //	rpqbench -experiment all -paper        # the paper's full protocol (hours)
 //	rpqbench -experiment planner -json out.json   # structured report
@@ -16,7 +17,7 @@
 //
 // -json writes a structured report (experiment id, config, per-row wall
 // times, B/op and allocs/op, shared-structure sizes, plan choices) for
-// experiments that support it (planner, layout, fig16), so successive
+// experiments that support it (planner, layout, updates, fig16), so
 // BENCH_*.json artifacts form a machine-readable perf trajectory; CI
 // emits one per run.
 package main
@@ -50,7 +51,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "override the dataset/workload seed")
 		verify     = fs.Bool("verify", false, "cross-check result counts across strategies")
 		workers    = fs.Int("workers", 0, "override the largest worker fan-out of the parallel sweep (fig16)")
-		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, fig16)")
+		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, fig16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +106,7 @@ func run(args []string) error {
 		return e.Run(os.Stdout, cfg)
 	}
 	if e.JSON == nil {
-		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout and fig16", e.ID)
+		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates and fig16", e.ID)
 	}
 	report, err := e.JSON(os.Stdout, cfg)
 	if err != nil {

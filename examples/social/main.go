@@ -1,5 +1,5 @@
 // Social-network friend recommendation — one of the paper's motivating
-// applications (Section I).
+// applications (Section I), extended with live ingest.
 //
 // A synthetic follower graph carries "follows", "mentions" and "blocks"
 // edges. Three product teams run overlapping RPQ dashboards against it:
@@ -9,14 +9,20 @@
 //	recommend  follows.follows+.mentions   friends-of-friends worth suggesting
 //
 // All three share the Kleene sub-query follows+, so one reduced
-// transitive closure serves the whole dashboard. The program compares
-// RTCSharing with evaluating each query independently.
+// transitive closure serves the whole dashboard. The program first
+// compares RTCSharing with evaluating each query independently — then
+// keeps the dashboard alive while new edges stream in through
+// Engine.ApplyUpdates: each update batch bumps the engine onto a new
+// graph epoch, incrementally patching the follows+ structure (inserts
+// on "follows") and carrying everything the batch didn't touch, instead
+// of recomputing the world.
 //
 // Run with: go run ./examples/social
 package main
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"rtcshare"
@@ -49,31 +55,68 @@ func main() {
 		{"safe-reach", follows + "." + follows + "+." + blocks + "?"},
 	}
 
-	for _, strategy := range []rtcshare.Strategy{rtcshare.NoSharing, rtcshare.RTCSharing} {
-		engine := rtcshare.NewEngine(g, rtcshare.Options{Strategy: strategy})
-		start := time.Now()
+	runDashboard := func(engine *rtcshare.Engine) {
 		for _, q := range dashboard {
 			res, err := engine.EvaluateQuery(q.query)
 			if err != nil {
 				panic(err)
 			}
-			fmt.Printf("[%s] %-10s %-28s %8d pairs\n", strategy, q.name, q.query, res.Len())
+			fmt.Printf("  %-10s %-28s %8d pairs\n", q.name, q.query, res.Len())
 		}
+	}
+
+	for _, strategy := range []rtcshare.Strategy{rtcshare.NoSharing, rtcshare.RTCSharing} {
+		engine := rtcshare.NewEngine(g, rtcshare.Options{Strategy: strategy})
+		start := time.Now()
+		fmt.Printf("[%s]\n", strategy)
+		runDashboard(engine)
 		st := engine.Stats()
-		fmt.Printf("[%s] wall=%v engine split: shared=%v join=%v remainder=%v hits=%d\n\n",
-			strategy, time.Since(start).Round(time.Microsecond),
+		fmt.Printf("  wall=%v engine split: shared=%v join=%v remainder=%v hits=%d\n\n",
+			time.Since(start).Round(time.Microsecond),
 			st.SharedData.Round(time.Microsecond), st.PreJoin.Round(time.Microsecond),
 			st.Remainder.Round(time.Microsecond), st.CacheHits)
 	}
 
-	// Top recommendation for one user: the pairs starting at vertex 42.
+	// Live ingest: the dashboard engine stays up while follower edges
+	// stream in. Every batch lands through ApplyUpdates — the follows+
+	// RTC is patched in place (never recomputed), the mentions-only
+	// structures are carried across the epoch untouched, and queries
+	// running concurrently would keep answering against the epoch they
+	// started on.
 	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+	runDashboard(engine)
+	rng := rand.New(rand.NewSource(99))
+	fmt.Println("\nstreaming new follows/mentions edges:")
+	for batch := 0; batch < 3; batch++ {
+		var updates []rtcshare.GraphUpdate
+		for i := 0; i < 64; i++ {
+			src := rtcshare.VID(rng.Intn(2048))
+			dst := rtcshare.VID(rng.Intn(2048))
+			updates = append(updates, rtcshare.InsertEdge(src, follows, dst))
+		}
+		// The occasional retraction exercises the fallback: deletes drop
+		// the affected structures for recompute on demand.
+		if batch == 2 {
+			updates = append(updates, rtcshare.DeleteEdge(updates[0].Src, follows, updates[0].Dst))
+		}
+		start := time.Now()
+		res, err := engine.ApplyUpdates(updates)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nepoch %d: +%d/-%d edges in %v (structures: %d patched, %d carried, %d dropped; relations: %d carried)\n",
+			res.Epoch, res.Inserted, res.Deleted, time.Since(start).Round(time.Microsecond),
+			res.Patched, res.Carried, res.Dropped, res.RelCarried)
+		runDashboard(engine)
+	}
+
+	// Top recommendation for one user: the pairs starting at vertex 42.
 	res, err := engine.EvaluateQuery(follows + "." + follows + "+." + mentions)
 	if err != nil {
 		panic(err)
 	}
 	count := 0
-	fmt.Println("sample recommendations for user 42:")
+	fmt.Println("\nsample recommendations for user 42:")
 	res.Each(func(src, dst rtcshare.VID) bool {
 		if src == 42 && dst != 42 {
 			fmt.Printf("  suggest user %d\n", dst)

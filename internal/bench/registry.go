@@ -49,6 +49,7 @@ func Experiments() []Experiment {
 		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
 		{ID: "layout", Title: "Layout (beyond the paper): map-set vs columnar, bfs vs bitset closures", Run: runLayout, JSON: jsonLayout},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
+		{ID: "updates", Title: "Updates (beyond the paper): incremental maintenance vs rebuild-from-scratch", Run: runUpdates, JSON: jsonUpdates},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
@@ -113,6 +114,20 @@ func jsonLayout(w io.Writer, cfg RunConfig) (any, error) {
 func runPlanner(w io.Writer, cfg RunConfig) error {
 	_, err := jsonPlanner(w, cfg)
 	return err
+}
+
+func runUpdates(w io.Writer, cfg RunConfig) error {
+	_, err := jsonUpdates(w, cfg)
+	return err
+}
+
+func jsonUpdates(w io.Writer, cfg RunConfig) (any, error) {
+	us, err := RunUpdatesExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	us.RenderUpdates(w)
+	return us, nil
 }
 
 func jsonPlanner(w io.Writer, cfg RunConfig) (any, error) {

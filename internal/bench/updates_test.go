@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyUpdatesConfig keeps the updates experiment test-sized.
+func tinyUpdatesConfig() RunConfig {
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 3
+	cfg.NumSets = 1
+	cfg.NumRPQs = 3
+	return cfg
+}
+
+func TestRunUpdatesExperiment(t *testing.T) {
+	us, err := RunUpdatesExperiment(tinyUpdatesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one dataset × two mixes)", len(us.Rows))
+	}
+	mixes := map[string]bool{}
+	for _, r := range us.Rows {
+		mixes[r.Mix] = true
+		if r.Rounds != updateRounds || r.UpdatesPerRound != updatesPerRound {
+			t.Errorf("%s/%s: rounds %d×%d, want %d×%d", r.Dataset, r.Mix, r.Rounds, r.UpdatesPerRound, updateRounds, updatesPerRound)
+		}
+		if r.Queries == 0 || r.ResultPairs == 0 {
+			t.Errorf("%s/%s: empty run (%d queries, %d pairs)", r.Dataset, r.Mix, r.Queries, r.ResultPairs)
+		}
+		if r.IncrementalWall <= 0 || r.RebuildWall <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s/%s: missing timings %+v", r.Dataset, r.Mix, r)
+		}
+		// The migration must have decided something every round: an
+		// insert-only stream on one label leaves no structure dropped.
+		if r.Carried+r.Patched+r.RelCarried == 0 {
+			t.Errorf("%s/%s: nothing carried or patched (carried %d patched %d relCarried %d)",
+				r.Dataset, r.Mix, r.Carried, r.Patched, r.RelCarried)
+		}
+		if r.Mix == "insert" && r.Dropped > 0 {
+			t.Errorf("%s/insert: %d structures dropped on an insert-only stream", r.Dataset, r.Dropped)
+		}
+	}
+	if !mixes["insert"] || !mixes["mixed"] {
+		t.Fatalf("mixes = %v, want insert and mixed", mixes)
+	}
+
+	var sb strings.Builder
+	us.RenderUpdates(&sb)
+	if !strings.Contains(sb.String(), "incremental") || !strings.Contains(sb.String(), "speedup") {
+		t.Errorf("render missing columns:\n%s", sb.String())
+	}
+}

@@ -84,7 +84,7 @@ type endSpan struct{ start, end int32 }
 
 // acquireScratch checks a join scratch out of the engine pool, sized for
 // the engine's vertex space.
-func (e *Engine) acquireScratch() *joinScratch {
+func (e *engineVersion) acquireScratch() *joinScratch {
 	sc := e.scratchPool.Get().(*joinScratch)
 	n := e.g.NumVertices()
 	sc.seenA.ensure(n)
@@ -92,7 +92,7 @@ func (e *Engine) acquireScratch() *joinScratch {
 	return sc
 }
 
-func (e *Engine) releaseScratch(sc *joinScratch) {
+func (e *engineVersion) releaseScratch(sc *joinScratch) {
 	sc.resEq9 = sc.resEq9[:0]
 	e.scratchPool.Put(sc)
 }
@@ -100,11 +100,11 @@ func (e *Engine) releaseScratch(sc *joinScratch) {
 // acquireBuilder checks a relation builder over the engine's vertex
 // space out of the pool. Builders return to the pool empty (Seal resets
 // them), keeping their scratch columns warm.
-func (e *Engine) acquireBuilder() *pairs.Builder {
+func (e *engineVersion) acquireBuilder() *pairs.Builder {
 	return e.builderPool.Get().(*pairs.Builder)
 }
 
-func (e *Engine) releaseBuilder(b *pairs.Builder) {
+func (e *engineVersion) releaseBuilder(b *pairs.Builder) {
 	b.Reset()
 	e.builderPool.Put(b)
 }
@@ -125,7 +125,7 @@ func (e *Engine) releaseBuilder(b *pairs.Builder) {
 // are its frozen columns, walked in ascending start order with no
 // bucketing pass. It is exported so benchmarks can measure the join in
 // isolation; query evaluation reaches it through Engine.Evaluate.
-func (e *Engine) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
+func (e *engineVersion) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
 	sc := e.acquireScratch()
@@ -181,7 +181,7 @@ func (e *Engine) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, typ rpq
 // entire reachable set From(v_j) is walked and inserted with a duplicate
 // check — the redundant-1 and redundant-2 operations of Definitions 3
 // and 4 that Algorithm 2 eliminates are all performed here.
-func (e *Engine) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
+func (e *engineVersion) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
 	sc := e.acquireScratch()
@@ -225,7 +225,7 @@ func (e *Engine) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Closure, ty
 // Both relations arrive sealed, so the end-vertex runs this direction
 // wants are Post_G's transposed columns — built once per relation, then
 // reused by every batch unit that probes the same Post.
-func (e *Engine) EvalBatchUnitBackward(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
+func (e *engineVersion) EvalBatchUnitBackward(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
 	sc := e.acquireScratch()
@@ -274,7 +274,7 @@ func (e *Engine) EvalBatchUnitBackward(preG *pairs.Relation, structure *rtc.RTC,
 // pair-level enumeration through the transposed closure with duplicate
 // checks everywhere, exactly as EvalBatchUnitFull is the pair-level
 // forward join.
-func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
+func (e *engineVersion) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
 	joinStart := time.Now()
 
 	sc := e.acquireScratch()
@@ -313,7 +313,7 @@ func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Clo
 // walked end-vertex-first through its transposed columns — one lazy
 // build per relation, in place of the seed's per-call re-bucketing.
 // The scratch is released on return.
-func (e *Engine) joinPreBackward(sc *joinScratch, preG *pairs.Relation) (*pairs.Relation, error) {
+func (e *engineVersion) joinPreBackward(sc *joinScratch, preG *pairs.Relation) (*pairs.Relation, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
 	defer e.releaseScratch(sc)
@@ -346,7 +346,7 @@ func (e *Engine) joinPreBackward(sc *joinScratch, preG *pairs.Relation) (*pairs.
 // guarantee; the per-v_i duplicate stamps mean every emitted pair is
 // unique, so the result goes straight into a pooled builder and is
 // sealed once. The scratch is released on return.
-func (e *Engine) joinPost(sc *joinScratch, post rpq.Expr) (*pairs.Relation, error) {
+func (e *engineVersion) joinPost(sc *joinScratch, post rpq.Expr) (*pairs.Relation, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
 	defer e.releaseScratch(sc)

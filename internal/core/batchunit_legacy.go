@@ -72,7 +72,7 @@ func (b srcBuckets) dsts(v graph.VID) []graph.VID {
 
 // evalBatchUnitMap is Algorithm 2 over the map layout — the seed's
 // EvalBatchUnit, re-bucketing Pre_G from its hash map on every call.
-func (e *Engine) evalBatchUnitMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+func (e *engineVersion) evalBatchUnitMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
 	joinStart := time.Now()
 
 	buckets := bucketBySrc(e.g.NumVertices(), preG)
@@ -118,7 +118,7 @@ func (e *Engine) evalBatchUnitMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.C
 
 // evalBatchUnitFullMap is the seed's EvalBatchUnitFull: the pair-level
 // FullSharing join over the map layout.
-func (e *Engine) evalBatchUnitFullMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
+func (e *engineVersion) evalBatchUnitFullMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Set, error) {
 	joinStart := time.Now()
 
 	buckets := bucketBySrc(e.g.NumVertices(), preG)
@@ -153,7 +153,7 @@ func (e *Engine) evalBatchUnitFullMap(preG *pairs.Set, closure *tc.Closure, typ 
 
 // evalBatchUnitBackwardMap is the seed's EvalBatchUnitBackward over the
 // map layout.
-func (e *Engine) evalBatchUnitBackwardMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+func (e *engineVersion) evalBatchUnitBackwardMap(preG *pairs.Set, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
 	joinStart := time.Now()
 
 	buckets := bucketByDst(e.g.NumVertices(), postG)
@@ -199,7 +199,7 @@ func (e *Engine) evalBatchUnitBackwardMap(preG *pairs.Set, structure *rtc.RTC, t
 
 // evalBatchUnitFullBackwardMap is the seed's EvalBatchUnitFullBackward
 // over the map layout.
-func (e *Engine) evalBatchUnitFullBackwardMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
+func (e *engineVersion) evalBatchUnitFullBackwardMap(preG *pairs.Set, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Set) (*pairs.Set, error) {
 	joinStart := time.Now()
 
 	buckets := bucketByDst(e.g.NumVertices(), postG)
@@ -234,7 +234,7 @@ func (e *Engine) evalBatchUnitFullBackwardMap(preG *pairs.Set, closure *tc.Closu
 
 // joinPreBackwardMap finishes a backward batch unit on the map layout,
 // re-bucketing Pre_G by end vertex per call.
-func (e *Engine) joinPreBackwardMap(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.Set, error) {
+func (e *engineVersion) joinPreBackwardMap(resEq9 []pairs.Pair, preG *pairs.Set) (*pairs.Set, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
 
@@ -258,7 +258,7 @@ func (e *Engine) joinPreBackwardMap(resEq9 []pairs.Pair, preG *pairs.Set) (*pair
 
 // joinPostMap finishes a forward batch unit on the map layout: every
 // result pair lands through a hash insert.
-func (e *Engine) joinPostMap(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
+func (e *engineVersion) joinPostMap(resEq9 []pairs.Pair, post rpq.Expr) (*pairs.Set, error) {
 	t0 := time.Now()
 	defer func() { e.addRemainder(time.Since(t0)) }()
 

@@ -88,6 +88,113 @@ func (c differentialCase) queries(t *testing.T, dict *graph.Dict) []rpq.Expr {
 	return qs
 }
 
+// TestDifferentialUpdates is the update-oracle differential test:
+// random insert/delete sequences on RMAT graphs, and after every batch
+// the long-lived engine (incremental path: epoch-carried and patched
+// structures) must agree with a fresh engine rebuilt from scratch over
+// the updated graph AND with the compositional reference evaluator —
+// crossed over layouts, closure algorithms, planners, strategies and
+// the incremental/rebuild maintenance policies.
+func TestDifferentialUpdates(t *testing.T) {
+	configs := []Options{
+		{}, // columnar, BFS closure, heuristic planner
+		{Layout: LayoutMapSet},
+		{TCAlgo: rtc.BitsetClosure},
+		{Layout: LayoutMapSet, TCAlgo: rtc.NuutilaClosure},
+		{Planner: PlannerCostBased, TCAlgo: rtc.PurdomClosure},
+		{Strategy: FullSharing},
+		{DisableIncremental: true}, // rebuild-on-update fallback policy
+	}
+	// The queries keep single-label closure bodies in play (the patched
+	// path) next to multi-label bodies and closure-free clauses (the
+	// carry/drop paths).
+	queries := []rpq.Expr{
+		rpq.MustParse("l0+"),
+		rpq.MustParse("l0+.l1"),
+		rpq.MustParse("l1.l0*.l2?"),
+		rpq.MustParse("(l0.l1)+"),
+		rpq.MustParse("l2|^l0+"),
+	}
+
+	for caseSeed := int64(0); caseSeed < 3; caseSeed++ {
+		g, err := datagen.RMAT(datagen.RMATConfig{
+			Vertices: 56,
+			Edges:    168,
+			Labels:   3,
+			Seed:     300 + caseSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// One shared update script per case, so every config sees the
+		// same insert/delete sequence: ~1/5 deletes of existing edges,
+		// the rest random inserts (duplicates included on purpose).
+		rng := rand.New(rand.NewSource(400 + caseSeed))
+		labels := []string{"l0", "l1", "l2"}
+		var script [][]GraphUpdate
+		for b := 0; b < 5; b++ {
+			var batch []GraphUpdate
+			for i := 0; i < 6; i++ {
+				src, dst := graph.VID(rng.Intn(56)), graph.VID(rng.Intn(56))
+				label := labels[rng.Intn(len(labels))]
+				if rng.Intn(5) == 0 {
+					// Delete something that exists when possible: walk to a
+					// random existing edge of the label.
+					if lid, ok := g.Dict().Lookup(label); ok {
+						if succs := g.Successors(src, lid); len(succs) > 0 {
+							dst = succs[rng.Intn(len(succs))]
+						}
+					}
+					batch = append(batch, DeleteEdge(src, label, dst))
+					continue
+				}
+				batch = append(batch, InsertEdge(src, label, dst))
+			}
+			script = append(script, batch)
+		}
+
+		for _, opts := range configs {
+			engine := New(g, opts)
+			// Warm the caches so the migration has structures to carry,
+			// patch and drop.
+			for _, q := range queries {
+				if _, err := engine.Evaluate(q); err != nil {
+					t.Fatalf("seed %d %+v: warmup %q: %v", caseSeed, opts, q, err)
+				}
+			}
+			for b, batch := range script {
+				if _, err := engine.ApplyUpdates(batch); err != nil {
+					t.Fatalf("seed %d %+v batch %d: %v", caseSeed, opts, b, err)
+				}
+				rebuilt := New(engine.Graph(), opts)
+				for _, q := range queries {
+					got, err := engine.Evaluate(q)
+					if err != nil {
+						t.Fatalf("seed %d %+v batch %d: incremental %q: %v", caseSeed, opts, b, q, err)
+					}
+					fresh, err := rebuilt.Evaluate(q)
+					if err != nil {
+						t.Fatalf("seed %d %+v batch %d: rebuilt %q: %v", caseSeed, opts, b, q, err)
+					}
+					want := eval.Reference(engine.Graph(), q)
+					if !got.Equal(want) {
+						t.Errorf("seed %d %+v batch %d: %q: incremental %d pairs, reference %d",
+							caseSeed, opts, b, q, got.Len(), want.Len())
+					}
+					if !fresh.Equal(want) {
+						t.Errorf("seed %d %+v batch %d: %q: rebuilt %d pairs, reference %d",
+							caseSeed, opts, b, q, fresh.Len(), want.Len())
+					}
+				}
+			}
+			if cc := engine.Cache().Counters(); cc.CrossEpochHits != 0 {
+				t.Errorf("seed %d %+v: CrossEpochHits = %d", caseSeed, opts, cc.CrossEpochHits)
+			}
+		}
+	}
+}
+
 func TestDifferentialStrategiesMatchReference(t *testing.T) {
 	cases := differentialCases()
 	if len(cases) < 20 {

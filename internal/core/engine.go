@@ -29,11 +29,27 @@
 // never shared between two running evaluations. EvaluateBatchParallel
 // fans a query batch over worker engines forked from the receiver; the
 // forks share the receiver's cache and fold their Stats back into it.
+//
+// # Dynamic graphs
+//
+// An Engine is no longer pinned to one frozen graph: ApplyUpdates
+// (update.go) applies a batch of edge inserts/deletes, freezes a new
+// graph version, advances the SharedCache's epoch (carrying, patching or
+// dropping each cached structure) and atomically swaps the engine onto
+// the new version. Everything whose lifetime is bounded by one graph
+// version — the graph itself, sub-result memos, evaluator free lists,
+// join-scratch and builder pools, the planner with its statistics —
+// lives in an engineVersion; an evaluation pins one version at entry and
+// uses it throughout, so every result is computed entirely against a
+// single graph epoch even while updates land concurrently. The
+// accounting that outlives updates (Options, the cache handle, Stats,
+// shared-structure summaries) lives in the embedded engineShared.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtcshare/internal/eval"
@@ -42,6 +58,7 @@ import (
 	"rtcshare/internal/plan"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
 )
 
 // Strategy selects the multi-RPQ evaluation method.
@@ -134,6 +151,12 @@ type Options struct {
 	// batch units (the BenchmarkAblationRTCCache ablation). NoSharing
 	// behaves as if it were always set (it never shares).
 	DisableCache bool
+	// DisableIncremental makes ApplyUpdates drop every affected cached
+	// structure instead of patching it incrementally — the
+	// rebuild-on-update fallback, exposed so the updates benchmark and
+	// the differential suite can compare the two maintenance policies on
+	// one code path.
+	DisableIncremental bool
 }
 
 // Stats is the paper's timing and size accounting for a sequence of
@@ -191,11 +214,9 @@ type SharedSummary struct {
 	AvgSCCSize float64
 }
 
-// Engine evaluates regular path queries over one graph with one strategy.
-// It is safe for concurrent use; engines created with NewWithCache or
-// Fork additionally share their closure structures with each other.
-type Engine struct {
-	g     *graph.Graph
+// engineShared is the part of an Engine that survives graph updates:
+// configuration, the cache handle, and the accumulated accounting.
+type engineShared struct {
 	opts  Options
 	cache *SharedCache
 
@@ -203,25 +224,37 @@ type Engine struct {
 	mu        sync.Mutex
 	stats     Stats
 	summaries map[string]SharedSummary
+}
 
-	// subMu guards subSets, the per-engine memo of sub-query results the
+// engineVersion is everything whose lifetime is bounded by one graph
+// version. An evaluation loads the engine's current version once and
+// uses it end to end, so a concurrent ApplyUpdates never mixes graph
+// epochs within one query. The embedded *engineShared routes timing and
+// summary accounting back to the owning engine.
+type engineVersion struct {
+	*engineShared
+	g     *graph.Graph
+	epoch uint64
+
+	// subMu guards subSets, the per-version memo of sub-query results the
 	// LayoutMapSet executor uses (the seed's behaviour: map-backed pair
-	// sets, engine-local, dying with the engine), and subRels, the
+	// sets, engine-local, dying with the version), and subRels, the
 	// columnar executor's *overflow* memo: sealed relations normally
 	// memoise in the SharedCache's relation region, shared across
 	// engines, but when the region's budget declines retention the
-	// engine keeps the relation here — bounded by the engine's lifetime,
-	// exactly the seed's discipline — so a full shared region degrades
-	// to per-engine memoisation, never to recomputing every batch unit.
+	// version keeps the relation here — bounded by the version's
+	// lifetime, exactly the seed's discipline — so a full shared region
+	// degrades to per-engine memoisation, never to recomputing every
+	// batch unit.
 	subMu   sync.Mutex
 	subSets map[string]*pairs.Set
 	subRels map[string]*pairs.Relation
 
 	// scratchPool holds joinScratch values — the generation-stamped sets
 	// and tuple buffers of the batch-unit joins — and builderPool holds
-	// relation builders. Both are engine-local free lists: steady-state
-	// batch evaluation on one engine reuses the same columns instead of
-	// allocating per call.
+	// relation builders sized to this version's vertex space. Both are
+	// version-local free lists: steady-state batch evaluation reuses the
+	// same columns instead of allocating per call.
 	scratchPool sync.Pool
 	builderPool sync.Pool
 
@@ -232,11 +265,30 @@ type Engine struct {
 	evalMu   sync.Mutex
 	evalFree map[string][]*eval.Evaluator
 
-	// plannerOnce/qplanner hold the lazily built clause planner. The
-	// planner itself is immutable; its cached-structure callback reads
-	// the (locked) SharedCache at plan time.
+	// plannerOnce/qplanner hold the lazily built clause planner — per
+	// version, so an update refreshes the planner's graph statistics.
+	// The planner itself is immutable; its cached-structure callback
+	// reads the (locked) SharedCache at plan time.
 	plannerOnce sync.Once
 	qplanner    *plan.Planner
+}
+
+// Engine evaluates regular path queries over one (updatable) graph with
+// one strategy. It is safe for concurrent use; engines created with
+// NewWithCache or Fork additionally share their closure structures with
+// each other. ApplyUpdates mutates the graph between query batches —
+// see update.go.
+type Engine struct {
+	engineShared
+
+	// ver is the current graph version, swapped atomically by
+	// ApplyUpdates. Readers pin it once per evaluation.
+	ver atomic.Pointer[engineVersion]
+
+	// updMu serialises ApplyUpdates; live is the mutable graph the
+	// updates accumulate into, lazily forked from the frozen graph.
+	updMu sync.Mutex
+	live  *graph.Mutable
 }
 
 // New returns an Engine over g with a private SharedCache.
@@ -250,57 +302,95 @@ func New(g *graph.Graph, opts Options) *Engine {
 // reused by all, which extends the paper's intra-batch sharing across
 // concurrent query streams. The cache must not be shared between
 // engines with different graphs, strategies or TC algorithms — the
-// cache key is the sub-query text, which does not encode those.
+// cache key is the sub-query text, which does not encode those. (After
+// ApplyUpdates the updated engine's epoch diverges from engines still
+// on the old graph; the epoch rules keep them correct, at the price of
+// no sharing between them.)
 func NewWithCache(g *graph.Graph, opts Options, cache *SharedCache) *Engine {
 	if cache == nil {
 		cache = NewSharedCache()
 	}
 	e := &Engine{
-		g:         g,
-		opts:      opts,
-		cache:     cache,
-		summaries: make(map[string]SharedSummary),
-		subSets:   make(map[string]*pairs.Set),
-		subRels:   make(map[string]*pairs.Relation),
-		evalFree:  make(map[string][]*eval.Evaluator),
+		engineShared: engineShared{
+			opts:      opts,
+			cache:     cache,
+			summaries: make(map[string]SharedSummary),
+		},
 	}
-	e.scratchPool.New = func() any { return &joinScratch{} }
-	e.builderPool.New = func() any { return pairs.NewBuilder(g.NumVertices()) }
+	e.ver.Store(newEngineVersion(&e.engineShared, g, cache.CurrentEpoch()))
 	return e
 }
 
-// Fork returns a new engine over the same graph and options, sharing the
-// receiver's SharedCache but nothing else: the fork has zero Stats, its
-// own summaries, and its own evaluator free list. Forks are how
-// EvaluateBatchParallel builds its workers; they are also the cheap way
-// to hand each request goroutine of a server its own engine while
-// keeping one process-wide cache.
-func (e *Engine) Fork() *Engine {
-	return NewWithCache(e.g, e.opts, e.cache)
+// newEngineVersion builds the version-scoped state for one graph epoch.
+func newEngineVersion(sh *engineShared, g *graph.Graph, epoch uint64) *engineVersion {
+	v := &engineVersion{
+		engineShared: sh,
+		g:            g,
+		epoch:        epoch,
+		subSets:      make(map[string]*pairs.Set),
+		subRels:      make(map[string]*pairs.Relation),
+		evalFree:     make(map[string][]*eval.Evaluator),
+	}
+	v.scratchPool.New = func() any { return &joinScratch{} }
+	v.builderPool.New = func() any { return pairs.NewBuilder(g.NumVertices()) }
+	return v
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// version pins the engine's current graph version.
+func (e *Engine) version() *engineVersion { return e.ver.Load() }
+
+// Fork returns a new engine over the same graph version and options,
+// sharing the receiver's SharedCache but nothing else: the fork has zero
+// Stats, its own summaries, and its own evaluator free list. Forks are
+// how EvaluateBatchParallel builds its workers; they are also the cheap
+// way to hand each request goroutine of a server its own engine while
+// keeping one process-wide cache. A fork pins the graph version current
+// at fork time: updates applied to the parent afterwards do not
+// propagate to it.
+func (e *Engine) Fork() *Engine {
+	return e.forkVersion(e.version())
+}
+
+// forkVersion is Fork pinned to an explicit version — how
+// EvaluateBatchParallel gives every worker of one batch the same graph
+// epoch.
+func (e *Engine) forkVersion(v *engineVersion) *Engine {
+	f := &Engine{
+		engineShared: engineShared{
+			opts:      e.opts,
+			cache:     e.cache,
+			summaries: make(map[string]SharedSummary),
+		},
+	}
+	f.ver.Store(newEngineVersion(&f.engineShared, v.g, v.epoch))
+	return f
+}
+
+// Graph returns the engine's current graph version.
+func (e *Engine) Graph() *graph.Graph { return e.version().g }
+
+// Epoch returns the graph epoch of the engine's current version.
+func (e *Engine) Epoch() uint64 { return e.version().epoch }
 
 // Options returns the engine's configuration.
-func (e *Engine) Options() Options { return e.opts }
+func (sh *engineShared) Options() Options { return sh.opts }
 
 // Cache returns the engine's shared-structure cache.
-func (e *Engine) Cache() *SharedCache { return e.cache }
+func (sh *engineShared) Cache() *SharedCache { return sh.cache }
 
 // Stats returns the accumulated timing split.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+func (sh *engineShared) Stats() Stats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stats
 }
 
 // ResetStats zeroes the timing split (the caches are kept; use
 // ClearCaches to drop them).
-func (e *Engine) ResetStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats = Stats{}
+func (sh *engineShared) ResetStats() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats = Stats{}
 }
 
 // ClearCaches drops all shared structures and memoised sub-results.
@@ -311,22 +401,23 @@ func (e *Engine) ClearCaches() {
 	e.mu.Lock()
 	e.summaries = make(map[string]SharedSummary)
 	e.mu.Unlock()
-	e.subMu.Lock()
-	e.subSets = make(map[string]*pairs.Set)
-	e.subRels = make(map[string]*pairs.Relation)
-	e.subMu.Unlock()
-	e.evalMu.Lock()
-	e.evalFree = make(map[string][]*eval.Evaluator)
-	e.evalMu.Unlock()
+	v := e.version()
+	v.subMu.Lock()
+	v.subSets = make(map[string]*pairs.Set)
+	v.subRels = make(map[string]*pairs.Relation)
+	v.subMu.Unlock()
+	v.evalMu.Lock()
+	v.evalFree = make(map[string][]*eval.Evaluator)
+	v.evalMu.Unlock()
 }
 
 // SharedSummaries returns one summary per shared structure this engine
 // has used (computed or fetched from the cache), in unspecified order.
-func (e *Engine) SharedSummaries() []SharedSummary {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]SharedSummary, 0, len(e.summaries))
-	for _, s := range e.summaries {
+func (sh *engineShared) SharedSummaries() []SharedSummary {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]SharedSummary, 0, len(sh.summaries))
+	for _, s := range sh.summaries {
 		out = append(out, s)
 	}
 	return out
@@ -334,11 +425,11 @@ func (e *Engine) SharedSummaries() []SharedSummary {
 
 // SharedPairsTotal sums SharedPairs over all cached shared structures —
 // the paper's "shared data size" metric (Fig. 12).
-func (e *Engine) SharedPairsTotal() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+func (sh *engineShared) SharedPairsTotal() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	total := 0
-	for _, s := range e.summaries {
+	for _, s := range sh.summaries {
 		total += s.SharedPairs
 	}
 	return total
@@ -353,12 +444,13 @@ func (e *Engine) EvaluateQuery(q string) (*pairs.Set, error) {
 	return e.Evaluate(expr)
 }
 
-// Evaluate computes Q_G for the query under the engine's strategy.
+// Evaluate computes Q_G for the query under the engine's strategy,
+// against the graph version current when the call starts.
 func (e *Engine) Evaluate(q rpq.Expr) (*pairs.Set, error) {
 	e.mu.Lock()
 	e.stats.Queries++
 	e.mu.Unlock()
-	return e.evaluateSharing(q)
+	return e.version().evaluateSharing(q)
 }
 
 // EvaluateRel computes Q_G and returns it in the executor's native
@@ -371,17 +463,18 @@ func (e *Engine) EvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 	e.mu.Lock()
 	e.stats.Queries++
 	e.mu.Unlock()
+	v := e.version()
 	if e.opts.Layout == LayoutMapSet {
-		set, err := e.evaluatePlannedMap(q, nil)
+		set, err := v.evaluatePlannedMap(q, nil)
 		if err != nil {
 			return nil, err
 		}
 		t0 := time.Now()
-		rel := pairs.RelationFromSet(e.g.NumVertices(), set)
-		e.addRemainder(time.Since(t0))
+		rel := pairs.RelationFromSet(v.g.NumVertices(), set)
+		v.addRemainder(time.Since(t0))
 		return rel, nil
 	}
-	return e.evaluatePlanned(q, nil)
+	return v.evaluateRelCached(q)
 }
 
 // EvaluateQueryRel parses q and evaluates it with EvaluateRel.
@@ -407,99 +500,124 @@ func (e *Engine) EvaluateSet(qs []rpq.Expr) ([]*pairs.Set, error) {
 	return out, nil
 }
 
+// EvalBatchUnit exposes the columnar Algorithm 2 join on the engine's
+// current graph version; see engineVersion.EvalBatchUnit.
+func (e *Engine) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
+	return e.version().EvalBatchUnit(preG, structure, typ, post)
+}
+
+// EvalBatchUnitFull exposes FullSharing's pair-level join; see
+// engineVersion.EvalBatchUnitFull.
+func (e *Engine) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, post rpq.Expr) (*pairs.Relation, error) {
+	return e.version().EvalBatchUnitFull(preG, closure, typ, post)
+}
+
+// EvalBatchUnitBackward exposes the backward RTC join; see
+// engineVersion.EvalBatchUnitBackward.
+func (e *Engine) EvalBatchUnitBackward(preG *pairs.Relation, structure *rtc.RTC, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
+	return e.version().EvalBatchUnitBackward(preG, structure, typ, postG)
+}
+
+// EvalBatchUnitFullBackward exposes the backward full-closure join; see
+// engineVersion.EvalBatchUnitFullBackward.
+func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Closure, typ rpq.ClosureType, postG *pairs.Relation) (*pairs.Relation, error) {
+	return e.version().EvalBatchUnitFullBackward(preG, closure, typ, postG)
+}
+
 // addShared, addPreJoin and addRemainder attribute elapsed time to the
 // three-part split under the stats lock.
-func (e *Engine) addShared(d time.Duration) {
-	e.mu.Lock()
-	e.stats.SharedData += d
-	e.mu.Unlock()
+func (sh *engineShared) addShared(d time.Duration) {
+	sh.mu.Lock()
+	sh.stats.SharedData += d
+	sh.mu.Unlock()
 }
 
-func (e *Engine) addPreJoin(d time.Duration) {
-	e.mu.Lock()
-	e.stats.PreJoin += d
-	e.mu.Unlock()
+func (sh *engineShared) addPreJoin(d time.Duration) {
+	sh.mu.Lock()
+	sh.stats.PreJoin += d
+	sh.mu.Unlock()
 }
 
-func (e *Engine) addRemainder(d time.Duration) {
-	e.mu.Lock()
-	e.stats.Remainder += d
-	e.mu.Unlock()
+func (sh *engineShared) addRemainder(d time.Duration) {
+	sh.mu.Lock()
+	sh.stats.Remainder += d
+	sh.mu.Unlock()
 }
 
 // countLookup records a shared-structure cache hit or miss plus the
 // summary of the structure involved, so SharedSummaries reflects every
 // structure the engine used regardless of which engine computed it.
-func (e *Engine) countLookup(hit bool, sum SharedSummary) {
-	e.mu.Lock()
+func (sh *engineShared) countLookup(hit bool, sum SharedSummary) {
+	sh.mu.Lock()
 	if hit {
-		e.stats.CacheHits++
+		sh.stats.CacheHits++
 	} else {
-		e.stats.CacheMisses++
+		sh.stats.CacheMisses++
 	}
-	e.summaries[sum.R] = sum
-	e.mu.Unlock()
+	sh.summaries[sum.R] = sum
+	sh.mu.Unlock()
 }
 
 // acquireEvaluator checks an automaton-product evaluator for q out of
 // the free list, compiling a fresh one when none is idle. The caller
 // owns it exclusively until releaseEvaluator.
-func (e *Engine) acquireEvaluator(q rpq.Expr) (*eval.Evaluator, string) {
+func (v *engineVersion) acquireEvaluator(q rpq.Expr) (*eval.Evaluator, string) {
 	key := q.String()
-	e.evalMu.Lock()
-	if free := e.evalFree[key]; len(free) > 0 {
+	v.evalMu.Lock()
+	if free := v.evalFree[key]; len(free) > 0 {
 		ev := free[len(free)-1]
-		e.evalFree[key] = free[:len(free)-1]
-		e.evalMu.Unlock()
+		v.evalFree[key] = free[:len(free)-1]
+		v.evalMu.Unlock()
 		return ev, key
 	}
-	e.evalMu.Unlock()
-	return eval.New(e.g, q, eval.Options{UseDFA: e.opts.UseDFA}), key
+	v.evalMu.Unlock()
+	return eval.New(v.g, q, eval.Options{UseDFA: v.opts.UseDFA}), key
 }
 
 // releaseEvaluator returns an evaluator to the free list for reuse.
-func (e *Engine) releaseEvaluator(key string, ev *eval.Evaluator) {
-	e.evalMu.Lock()
-	e.evalFree[key] = append(e.evalFree[key], ev)
-	e.evalMu.Unlock()
+func (v *engineVersion) releaseEvaluator(key string, ev *eval.Evaluator) {
+	v.evalMu.Lock()
+	v.evalFree[key] = append(v.evalFree[key], ev)
+	v.evalMu.Unlock()
 }
 
-func (e *Engine) maxClauses() int {
-	if e.opts.MaxDNFClauses > 0 {
-		return e.opts.MaxDNFClauses
+func (sh *engineShared) maxClauses() int {
+	if sh.opts.MaxDNFClauses > 0 {
+		return sh.opts.MaxDNFClauses
 	}
 	return rpq.DefaultMaxClauses
 }
 
-// planner returns the engine's clause planner, building it on first use.
-// The cached-structure probe makes sunk closure costs visible to the
-// cost model, so a warm cache biases the planner toward anchors whose
-// structures already exist.
-func (e *Engine) planner() *plan.Planner {
-	e.plannerOnce.Do(func() {
-		e.qplanner = plan.New(e.g, plan.Config{
-			Mode:          e.opts.Planner,
-			SharedCached:  e.sharedStructureCached,
-			ColumnarJoins: e.opts.Layout == LayoutColumnar,
+// planner returns this version's clause planner, building it on first
+// use from the version's graph statistics. The cached-structure probe
+// makes sunk closure costs visible to the cost model, so a warm cache
+// biases the planner toward anchors whose structures already exist.
+func (v *engineVersion) planner() *plan.Planner {
+	v.plannerOnce.Do(func() {
+		v.qplanner = plan.New(v.g, plan.Config{
+			Mode:          v.opts.Planner,
+			SharedCached:  v.sharedStructureCached,
+			ColumnarJoins: v.opts.Layout == LayoutColumnar,
 		})
 	})
-	return e.qplanner
+	return v.qplanner
 }
 
 // sharedStructureCached reports whether the shared closure structure for
-// r is already in the cache under this engine's strategy. Non-caching
-// engines (NoSharing, DisableCache) never have sunk structures.
-func (e *Engine) sharedStructureCached(r rpq.Expr) bool {
-	if !e.shouldCache() {
+// r is already in the cache — at this version's epoch — under the
+// engine's strategy. Non-caching engines (NoSharing, DisableCache)
+// never have sunk structures.
+func (v *engineVersion) sharedStructureCached(r rpq.Expr) bool {
+	if !v.shouldCache() {
 		return false
 	}
 	key := r.String()
-	switch e.opts.Strategy {
+	switch v.opts.Strategy {
 	case RTCSharing:
-		_, ok := e.cache.Lookup(nsRTC + key)
+		_, ok := v.cache.Lookup(v.epoch, nsRTC+key)
 		return ok
 	default:
-		_, ok := e.cache.Lookup(nsFull + key)
+		_, ok := v.cache.Lookup(v.epoch, nsFull+key)
 		return ok
 	}
 }

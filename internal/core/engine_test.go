@@ -177,12 +177,18 @@ func TestStatsAccounting(t *testing.T) {
 	if e.Stats().Queries != 0 {
 		t.Error("ResetStats did not zero")
 	}
-	// Cache persists across ResetStats: the next evaluation hits.
+	// Cache persists across ResetStats: the repeated query is answered
+	// from the memoised result relation outright — no structure lookup
+	// happens at all, the hit lands on the relation region.
+	relHits := e.Cache().Counters().RelHits
 	if _, err := e.EvaluateQuery("d.(b.c)+.c"); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats().CacheHits != 1 {
-		t.Errorf("CacheHits after reset = %d, want 1", e.Stats().CacheHits)
+	if st := e.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("repeated query stats = %+v, want no structure lookups (result relation reused)", st)
+	}
+	if got := e.Cache().Counters().RelHits; got <= relHits {
+		t.Errorf("RelHits = %d, want > %d (result served from the relation region)", got, relHits)
 	}
 	e.ClearCaches()
 	e.ResetStats()

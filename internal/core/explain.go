@@ -82,13 +82,15 @@ func (e *Engine) ExplainQuery(q string) (*Plan, error) {
 }
 
 // Explain plans a query without executing it: building a Plan evaluates
-// nothing and mutates no caches.
+// nothing and mutates no caches. It plans against the engine's current
+// graph version.
 func (e *Engine) Explain(q rpq.Expr) (*Plan, error) {
-	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
+	v := e.version()
+	clauses, err := rpq.ToDNFLimit(q, v.maxClauses())
 	if err != nil {
 		return nil, err
 	}
-	return e.describePlan(e.planner().Plan(q, clauses)), nil
+	return v.describePlan(v.planner().Plan(q, clauses)), nil
 }
 
 // ExplainAnalyzeQuery parses, plans and executes a query.
@@ -108,6 +110,7 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 	e.mu.Lock()
 	e.stats.Queries++
 	e.mu.Unlock()
+	v := e.version()
 
 	var (
 		obs       planObserver
@@ -118,13 +121,13 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 	// The analyzed run executes on the engine's configured layout, so
 	// the actuals reflect the executor that real queries use.
 	if e.opts.Layout == LayoutMapSet {
-		res, mErr := e.evaluatePlannedMap(q, &obs)
+		res, mErr := v.evaluatePlannedMap(q, &obs)
 		if mErr == nil {
 			resultLen = res.Len()
 		}
 		err = mErr
 	} else {
-		rel, cErr := e.evaluatePlanned(q, &obs)
+		rel, cErr := v.evaluatePlanned(q, &obs)
 		if cErr == nil {
 			resultLen = rel.Len()
 		}
@@ -134,7 +137,7 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := e.describePlan(obs.plan)
+	p := v.describePlan(obs.plan)
 	p.Analyzed = true
 	p.ActualResultPairs = resultLen
 	p.ActualTime = elapsed
@@ -149,7 +152,7 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 }
 
 // describePlan renders a logical QueryPlan into the public Plan form.
-func (e *Engine) describePlan(qp *plan.QueryPlan) *Plan {
+func (e *engineVersion) describePlan(qp *plan.QueryPlan) *Plan {
 	p := &Plan{Query: qp.Query.String(), Strategy: e.opts.Strategy, Planner: qp.Mode}
 	for _, cp := range qp.Clauses {
 		bu := cp.Unit

@@ -215,7 +215,7 @@ func TestExecClauseAutomatonBypass(t *testing.T) {
 		Direction: plan.Forward,
 		Unit:      rpq.Decompose(clause),
 	}
-	got, act, err := e.execClause(&cp)
+	got, act, err := e.version().execClause(&cp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,9 +99,9 @@ func TestRelationOverflowMemo(t *testing.T) {
 	if got := e.cache.RelLen(); got != 0 {
 		t.Errorf("relation region retained %d entries despite exhausted budget", got)
 	}
-	e.subMu.Lock()
-	overflow := len(e.subRels)
-	e.subMu.Unlock()
+	e.version().subMu.Lock()
+	overflow := len(e.version().subRels)
+	e.version().subMu.Unlock()
 	if overflow == 0 {
 		t.Error("overflow memo empty: declined relations were not kept engine-locally")
 	}

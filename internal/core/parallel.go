@@ -29,6 +29,12 @@ import (
 // baseline — the batch still parallelises, each worker paying the full
 // per-query cost, which is exactly the NoSharing wall-clock a fair
 // comparison needs.
+//
+// The whole batch is pinned to the graph version current when the call
+// starts: every worker forks onto that one version, so even if
+// ApplyUpdates lands mid-batch, all results of one call describe a
+// single graph epoch (the -race update stress test asserts exactly
+// this).
 func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set, error) {
 	n := len(qs)
 	if n == 0 {
@@ -41,10 +47,15 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 		workers = n
 	}
 	if workers <= 1 {
-		return e.EvaluateSet(qs)
+		// Serial fallback, still pinned to one version via a fork.
+		worker := e.forkVersion(e.version())
+		out, err := worker.EvaluateSet(qs)
+		e.absorb(worker)
+		return out, err
 	}
 
 	var (
+		pinned  = e.version()
 		results = make([]*pairs.Set, n)
 		errs    = make([]error, workers)
 		engines = make([]*Engine, workers)
@@ -53,7 +64,7 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 		wg      sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
-		engines[w] = e.Fork()
+		engines[w] = e.forkVersion(pinned)
 		wg.Add(1)
 		go func(w int, worker *Engine) {
 			defer wg.Done()

@@ -81,6 +81,13 @@ func TestEvaluateBatchParallelMatchesSerial(t *testing.T) {
 				// Workload queries are Pre·R+·Post with label Pre/Post, so
 				// every query is one closure clause and every structure
 				// lookup is for one of the distinctR shared sub-queries.
+				// Structure lookups happen once per DISTINCT query text:
+				// a repeated text is answered from its memoised result
+				// relation without touching the structure region.
+				distinctQ := make(map[string]bool)
+				for _, q := range batch {
+					distinctQ[q.String()] = true
+				}
 				st := par.Stats()
 				if st.Queries != len(batch) {
 					t.Errorf("parallel(%d): merged Queries = %d, want %d", workers, st.Queries, len(batch))
@@ -89,8 +96,9 @@ func TestEvaluateBatchParallelMatchesSerial(t *testing.T) {
 					t.Errorf("parallel(%d): merged CacheMisses = %d, want %d (one per distinct R)",
 						workers, st.CacheMisses, distinctR)
 				}
-				if want := len(batch) - distinctR; st.CacheHits != want {
-					t.Errorf("parallel(%d): merged CacheHits = %d, want %d", workers, st.CacheHits, want)
+				if want := len(distinctQ) - distinctR; st.CacheHits != want {
+					t.Errorf("parallel(%d): merged CacheHits = %d, want %d (distinct queries %d - distinct R %d)",
+						workers, st.CacheHits, want, len(distinctQ), distinctR)
 				}
 				if n := len(par.SharedSummaries()); n != distinctR {
 					t.Errorf("parallel(%d): %d shared summaries, want %d", workers, n, distinctR)
@@ -282,9 +290,10 @@ func TestExplainDisableCacheIgnoresSharedEntries(t *testing.T) {
 	}
 }
 
-// TestCacheHoldsOnlyStructures pins the memory contract: the shared
-// cache retains the compact closure structures, while the potentially
-// huge R_G sub-result sets stay per-engine and die with the engine.
+// TestCacheHoldsOnlyStructures pins the region contract: the structure
+// region retains exactly the compact closure structures (its Entries
+// counter keeps meaning "structures"), while sub-query and result
+// relations live in the separately counted relation region.
 func TestCacheHoldsOnlyStructures(t *testing.T) {
 	g := stressGraph(t, 37)
 	e := New(g, Options{})
@@ -295,13 +304,15 @@ func TestCacheHoldsOnlyStructures(t *testing.T) {
 	if cc.Entries != 1 {
 		t.Errorf("cache entries = %d, want 1 (the RTC only; sub-results are per-engine)", cc.Entries)
 	}
-	if _, ok := e.Cache().Lookup(nsRTC + "l1.l2"); !ok {
+	if _, ok := e.Cache().Lookup(0, nsRTC+"l1.l2"); !ok {
 		t.Errorf("RTC for l1.l2 not in the cache")
 	}
 
-	// A fork shares the structure but not the memoised sub-results: it
-	// still answers correctly (recomputing Pre privately).
+	// A fork shares the whole relation region: the repeated query is
+	// answered from the memoised result relation, so the fork performs
+	// no structure lookup at all.
 	f := e.Fork()
+	relHits := e.Cache().Counters().RelHits
 	res, err := f.EvaluateQuery("l0.(l1.l2)+.l3")
 	if err != nil {
 		t.Fatal(err)
@@ -310,7 +321,10 @@ func TestCacheHoldsOnlyStructures(t *testing.T) {
 	if err != nil || !res.Equal(want) {
 		t.Fatalf("forked engine result differs: %v", err)
 	}
-	if st := f.Stats(); st.CacheHits != 1 || st.CacheMisses != 0 {
-		t.Errorf("fork stats = %+v, want the structure reused (1 hit)", st)
+	if st := f.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("fork stats = %+v, want no structure lookups (result relation reused)", st)
+	}
+	if got := e.Cache().Counters().RelHits; got <= relHits {
+		t.Errorf("RelHits = %d, want > %d (fork served from the relation region)", got, relHits)
 	}
 }

@@ -34,8 +34,32 @@ import (
 // probe one frozen copy with zero copying. The regions are separate so
 // the structure counters keep their meaning: Counters/Len report
 // closure structures only, exactly as before.
+//
+// # Epochs
+//
+// Since the graph under a cache can now change (Engine.ApplyUpdates),
+// every entry is tagged with the graph epoch it was computed at, and
+// every access carries the caller's pinned epoch. The rules keep stale
+// structures from ever poisoning a reader:
+//
+//   - same epoch: a normal hit (singleflight wait included);
+//   - entry older than the caller: the entry is stale — it is evicted on
+//     the spot and the caller recomputes, installing the fresh value
+//     under its own epoch;
+//   - entry NEWER than the caller: the caller is a straggler still
+//     pinned to an old graph version (an evaluation in flight across an
+//     update). It computes privately, without installing, so it can
+//     neither use the new graph's entry nor evict it.
+//
+// A cross-epoch value is therefore never returned; CacheCounters records
+// CrossEpochHits as a regression tripwire and the -race stress suite
+// asserts it stays zero. AdvanceEpoch flips the whole cache to a new
+// epoch in one sweep, giving the updater a migration hook per surviving
+// entry (carry a structure unchanged, install an incrementally patched
+// one, or drop it).
 type SharedCache struct {
 	seed      maphash.Seed
+	epoch     atomic.Uint64
 	shards    [cacheShards]cacheShard
 	relShards [cacheShards]cacheShard
 
@@ -47,6 +71,15 @@ type SharedCache struct {
 	// relPairs tracks the pairs resident in the relation region, for the
 	// admission budget below.
 	relPairs atomic.Int64
+
+	// crossEpochHits counts completed entries of a different epoch
+	// handed to a caller. The access rules make this impossible; the
+	// counter exists so tests can assert it stays that way.
+	crossEpochHits atomic.Int64
+	// staleEvictions counts entries evicted because a newer-epoch caller
+	// found them outdated (lazy invalidation, complementing the eager
+	// sweep of AdvanceEpoch).
+	staleEvictions atomic.Int64
 }
 
 // relBudgetPairs is the soft bound on the relation region, in
@@ -81,11 +114,14 @@ type cacheShard struct {
 }
 
 // cacheEntry is one in-flight or completed computation. done is closed
-// when val/err/retained become readable.
+// when val/err/retained become readable. epoch is fixed at creation:
+// entries never migrate between epochs in place (AdvanceEpoch installs a
+// fresh entry when it carries a value forward).
 type cacheEntry struct {
-	done chan struct{}
-	val  any
-	err  error
+	epoch uint64
+	done  chan struct{}
+	val   any
+	err   error
 	// retained reports whether the entry stayed in the cache after
 	// completion; false when the relation budget declined it, telling
 	// callers (including singleflight waiters) to keep the value
@@ -93,7 +129,15 @@ type cacheEntry struct {
 	retained bool
 }
 
-// NewSharedCache returns an empty cache.
+// completedEntry returns an already-resolved entry, as AdvanceEpoch
+// installs for migrated values.
+func completedEntry(epoch uint64, val any, retained bool) *cacheEntry {
+	e := &cacheEntry{epoch: epoch, val: val, retained: retained, done: make(chan struct{})}
+	close(e.done)
+	return e
+}
+
+// NewSharedCache returns an empty cache at epoch 0.
 func NewSharedCache() *SharedCache {
 	c := &SharedCache{seed: maphash.MakeSeed()}
 	for i := range c.shards {
@@ -111,30 +155,37 @@ func (c *SharedCache) relShard(key string) *cacheShard {
 	return &c.relShards[maphash.String(c.seed, key)%cacheShards]
 }
 
-// GetOrCompute returns the cached value for key, computing it with fn on
-// first use. Concurrent calls with the same key run fn once: the first
-// caller computes while the rest wait for its result. computed reports
-// whether this call was the one that ran fn — the cache-miss signal the
-// engine's Stats counters record.
+// CurrentEpoch returns the cache's graph epoch. Engines pin it at
+// construction and at every ApplyUpdates.
+func (c *SharedCache) CurrentEpoch() uint64 { return c.epoch.Load() }
+
+// GetOrCompute returns the cached value for key at the caller's graph
+// epoch, computing it with fn on first use. Concurrent same-epoch calls
+// with the same key run fn once: the first caller computes while the
+// rest wait for its result. computed reports whether this call was the
+// one that ran fn — the cache-miss signal the engine's Stats counters
+// record. Entries from older epochs are evicted and recomputed; a caller
+// older than the resident entry computes privately (see the type
+// comment's epoch rules).
 //
 // If fn fails, every waiter receives the error and the entry is dropped,
 // so a later call retries the computation. fn runs without any cache
 // lock held and may itself call GetOrCompute with different keys.
-func (c *SharedCache) GetOrCompute(key string, fn func() (any, error)) (val any, computed bool, err error) {
-	val, computed, _, err = getOrCompute(c.shard(key), &c.hits, &c.misses, key, fn, nil)
+func (c *SharedCache) GetOrCompute(epoch uint64, key string, fn func() (any, error)) (val any, computed bool, err error) {
+	val, computed, _, err = c.getOrCompute(c.shard(key), &c.hits, &c.misses, epoch, key, fn, nil, nil)
 	return val, computed, err
 }
 
 // GetOrComputeRelation is GetOrCompute against the relation region: the
-// same singleflight discipline, separate shards and separate counters,
-// used by the columnar executor to memoise sealed sub-query relations
-// process-wide. Values are *pairs.Relation by convention. Retention is
-// bounded by relBudgetPairs: over budget, the computed relation is
-// returned (and delivered to concurrent waiters) with retained=false
-// and not kept — callers that still want memoisation keep it in their
-// own (engine-lifetime) overflow memo.
-func (c *SharedCache) GetOrComputeRelation(key string, fn func() (any, error)) (val any, computed, retained bool, err error) {
-	return getOrCompute(c.relShard(key), &c.relHits, &c.relMisses, key, fn, c.admitRelation)
+// same singleflight and epoch discipline, separate shards and separate
+// counters, used by the columnar executor to memoise sealed sub-query
+// relations process-wide. Values are *pairs.Relation by convention.
+// Retention is bounded by relBudgetPairs: over budget, the computed
+// relation is returned (and delivered to concurrent waiters) with
+// retained=false and not kept — callers that still want memoisation
+// keep it in their own (engine-lifetime) overflow memo.
+func (c *SharedCache) GetOrComputeRelation(epoch uint64, key string, fn func() (any, error)) (val any, computed, retained bool, err error) {
+	return c.getOrCompute(c.relShard(key), &c.relHits, &c.relMisses, epoch, key, fn, c.admitRelation, c.evictRelation)
 }
 
 // admitRelation charges a freshly computed relation against the region
@@ -157,30 +208,62 @@ func (c *SharedCache) admitRelation(val any) bool {
 	return true
 }
 
+// evictRelation returns a retained relation's budget charge when its
+// entry leaves the cache (stale eviction or epoch-sweep drop).
+func (c *SharedCache) evictRelation(val any) {
+	if rel, ok := val.(*pairs.Relation); ok {
+		c.relPairs.Add(-relationCost(rel))
+	}
+}
+
 // getOrCompute is the shared singleflight core. admit, when non-nil,
 // runs after a successful computation; returning false evicts the
 // entry (waiters still receive the value, marked unretained) so later
-// calls recompute.
-func getOrCompute(s *cacheShard, hits, misses *atomic.Int64, key string, fn func() (any, error), admit func(any) bool) (val any, computed, retained bool, err error) {
+// calls recompute. evict, when non-nil, runs when a completed retained
+// entry is dropped, returning its budget charge.
+func (c *SharedCache) getOrCompute(s *cacheShard, hits, misses *atomic.Int64, epoch uint64, key string, fn func() (any, error), admit func(any) bool, evict func(any)) (val any, computed, retained bool, err error) {
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
-		s.mu.Unlock()
-		hits.Add(1)
-		<-e.done
-		return e.val, false, e.retained, e.err
+		switch {
+		case e.epoch == epoch:
+			s.mu.Unlock()
+			hits.Add(1)
+			<-e.done
+			if e.epoch != epoch {
+				// Unreachable by construction (entry epochs are fixed at
+				// creation); counted so a future regression is loud.
+				c.crossEpochHits.Add(1)
+			}
+			return e.val, false, e.retained, e.err
+		case e.epoch < epoch:
+			// Stale entry from before an update: evict and recompute. An
+			// in-flight stale computation is detached, not interrupted —
+			// its waiters still get their (old-epoch) value, but it will
+			// not land in the map or charge the budget.
+			c.staleEvictions.Add(1)
+			c.dropEntryLocked(s, key, e, evict)
+		default:
+			// The caller is pinned to an older graph version than the
+			// resident entry. Compute privately: the straggler may not
+			// reuse the newer value, and must not evict it either.
+			s.mu.Unlock()
+			misses.Add(1)
+			val, err = fn()
+			return val, true, false, err
+		}
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{epoch: epoch, done: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
 	misses.Add(1)
 
 	e.val, e.err = fn()
 	s.mu.Lock()
-	// Act only on our own entry: a Reset during fn may have swapped the
-	// map (detaching e), and another goroutine may since have installed
-	// a fresh entry under the same key. A detached entry is neither
-	// evicted nor admitted — in particular its pairs are never charged
-	// to the relation budget, since they are not resident.
+	// Act only on our own entry: a Reset/AdvanceEpoch during fn may have
+	// swapped or removed it (detaching e), and another goroutine may
+	// since have installed a fresh entry under the same key. A detached
+	// entry is neither evicted nor admitted — in particular its pairs are
+	// never charged to the relation budget, since they are not resident.
 	if s.entries[key] == e {
 		if e.err != nil || (admit != nil && !admit(e.val)) {
 			delete(s.entries, key)
@@ -193,15 +276,34 @@ func getOrCompute(s *cacheShard, hits, misses *atomic.Int64, key string, fn func
 	return e.val, true, e.retained, e.err
 }
 
-// Lookup returns the completed value for key without computing anything.
-// It reports false for absent keys and for computations still in flight
-// (Explain uses it, and Explain must never block on a running query).
-func (c *SharedCache) Lookup(key string) (any, bool) {
+// dropEntryLocked removes an entry from its shard (whose lock the caller
+// holds), returning a retained relation's budget charge.
+func (c *SharedCache) dropEntryLocked(s *cacheShard, key string, e *cacheEntry, evict func(any)) {
+	delete(s.entries, key)
+	if evict == nil {
+		return
+	}
+	select {
+	case <-e.done:
+		if e.err == nil && e.retained {
+			evict(e.val)
+		}
+	default:
+		// In flight: it has not been admitted, so there is nothing to
+		// un-charge.
+	}
+}
+
+// Lookup returns the completed value for key at the caller's epoch
+// without computing anything. It reports false for absent keys, for
+// computations still in flight (Explain uses it, and Explain must never
+// block on a running query), and for entries of any other epoch.
+func (c *SharedCache) Lookup(epoch uint64, key string) (any, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	s.mu.Unlock()
-	if !ok {
+	if !ok || e.epoch != epoch {
 		return nil, false
 	}
 	select {
@@ -213,6 +315,109 @@ func (c *SharedCache) Lookup(key string) (any, bool) {
 	default:
 		return nil, false
 	}
+}
+
+// CacheRegion names the two cache regions for AdvanceEpoch's migration
+// callback.
+type CacheRegion int
+
+const (
+	// RegionStructure holds closure structures (RTCs, full closures).
+	RegionStructure CacheRegion = iota
+	// RegionRelation holds sealed sub-query relations.
+	RegionRelation
+)
+
+// AdvanceEpoch moves the cache to a new graph epoch and sweeps both
+// regions. Only entries computed at exactly fromEpoch — the updating
+// engine's pre-update epoch, the one graph version its deltas describe
+// — are offered to the migrate callback, which decides their fate:
+// return (newVal, true) to install newVal under the new epoch (carry a
+// structure unchanged, or hand back an incrementally patched copy), or
+// (_, false) to drop the entry. Entries at any OTHER old epoch (a
+// straggler's late install, or a diverged engine's) are dropped
+// unconditionally: the caller's deltas say nothing about them, so
+// carrying or patching them would smuggle a multi-epoch-stale value
+// into the new epoch. A nil migrate drops everything. In-flight entries
+// are detached: their waiters still receive the old-epoch result, but
+// the entry leaves the map, so it can never serve a new-epoch reader —
+// which is what makes the flip atomic from the readers' point of view:
+// an evaluation is entirely pre-epoch or entirely post-epoch, never a
+// mixture.
+//
+// The migrate callback runs OUTSIDE the shard locks (incremental
+// patches are O(closure pairs); holding a shard lock for that long
+// would head-of-line-block concurrent readers). A migrated value is
+// installed only if no new-epoch reader has raced a fresh computation
+// into the slot meanwhile. Migrated relation-region entries are
+// re-admitted against the budget; relDeclined reports how many migrated
+// relations did NOT survive (budget decline or lost race), so the
+// caller's carried-counters can stay truthful. The new epoch is
+// returned; the caller (Engine.ApplyUpdates) installs it in its new
+// engine version only after this sweep completes.
+func (c *SharedCache) AdvanceEpoch(fromEpoch uint64, migrate func(region CacheRegion, key string, val any) (any, bool)) (newEpoch uint64, relDeclined int) {
+	newEpoch = c.epoch.Add(1)
+	type candidate struct {
+		key string
+		val any
+	}
+	sweep := func(region CacheRegion, shards *[cacheShards]cacheShard, admit func(any) bool, evict func(any)) int {
+		declined := 0
+		for i := range shards {
+			s := &shards[i]
+			var cands []candidate
+			s.mu.Lock()
+			for key, e := range s.entries {
+				if e.epoch >= newEpoch {
+					continue
+				}
+				select {
+				case <-e.done:
+				default:
+					// In flight at an old epoch: detach.
+					delete(s.entries, key)
+					continue
+				}
+				if e.err != nil {
+					delete(s.entries, key)
+					continue
+				}
+				c.dropEntryLocked(s, key, e, evict)
+				if migrate != nil && e.epoch == fromEpoch {
+					cands = append(cands, candidate{key: key, val: e.val})
+				}
+			}
+			s.mu.Unlock()
+
+			for _, cd := range cands {
+				nv, keep := migrate(region, cd.key, cd.val)
+				if !keep {
+					continue
+				}
+				if admit != nil && !admit(nv) {
+					declined++
+					continue
+				}
+				s.mu.Lock()
+				if _, exists := s.entries[cd.key]; !exists {
+					s.entries[cd.key] = completedEntry(newEpoch, nv, true)
+				} else {
+					// A new-epoch reader computed the key fresh while we
+					// migrated: its value is at least as current, so the
+					// migrated copy is discarded (and un-charged).
+					if evict != nil {
+						evict(nv)
+					}
+					declined++
+				}
+				s.mu.Unlock()
+			}
+		}
+		return declined
+	}
+	sweep(RegionStructure, &c.shards, nil, nil)
+	relDeclined = sweep(RegionRelation, &c.relShards, c.admitRelation, c.evictRelation)
+	return newEpoch, relDeclined
 }
 
 // Len returns the number of cached structure entries, including
@@ -241,7 +446,8 @@ func (c *SharedCache) RelLen() int {
 	return n
 }
 
-// Reset drops every entry of both regions and zeroes the counters.
+// Reset drops every entry of both regions and zeroes the counters; the
+// epoch is kept (it numbers graph versions, not cache generations).
 // Entries still being computed are detached, not interrupted: their
 // waiters get the result, but later lookups recompute.
 func (c *SharedCache) Reset() {
@@ -260,6 +466,8 @@ func (c *SharedCache) Reset() {
 	c.relHits.Store(0)
 	c.relMisses.Store(0)
 	c.relPairs.Store(0)
+	c.crossEpochHits.Store(0)
+	c.staleEvictions.Store(0)
 }
 
 // CacheCounters is a snapshot of a SharedCache's activity: Misses counts
@@ -277,16 +485,27 @@ type CacheCounters struct {
 	// actually evaluated and sealed.
 	RelHits, RelMisses int64
 	RelEntries         int
+
+	// Epoch is the cache's current graph epoch. CrossEpochHits counts
+	// values served across epochs — the access rules make it impossible,
+	// and the update stress tests assert it stays 0. StaleEvictions
+	// counts old-epoch entries lazily evicted by newer readers.
+	Epoch          uint64
+	CrossEpochHits int64
+	StaleEvictions int64
 }
 
 // Counters returns a snapshot of the cache's hit/miss counters.
 func (c *SharedCache) Counters() CacheCounters {
 	return CacheCounters{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Entries:    c.Len(),
-		RelHits:    c.relHits.Load(),
-		RelMisses:  c.relMisses.Load(),
-		RelEntries: c.RelLen(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Entries:        c.Len(),
+		RelHits:        c.relHits.Load(),
+		RelMisses:      c.relMisses.Load(),
+		RelEntries:     c.RelLen(),
+		Epoch:          c.epoch.Load(),
+		CrossEpochHits: c.crossEpochHits.Load(),
+		StaleEvictions: c.staleEvictions.Load(),
 	}
 }

@@ -33,7 +33,7 @@ func TestSharedCacheSingleflight(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < iterations; i++ {
 				k := rng.Intn(keys)
-				v, _, err := cache.GetOrCompute(fmt.Sprintf("key-%d", k), func() (any, error) {
+				v, _, err := cache.GetOrCompute(0, fmt.Sprintf("key-%d", k), func() (any, error) {
 					computes[k].Add(1)
 					return k * k, nil
 				})
@@ -75,18 +75,18 @@ func TestSharedCacheErrorRetry(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int64
 
-	_, computed, err := cache.GetOrCompute("k", func() (any, error) {
+	_, computed, err := cache.GetOrCompute(0, "k", func() (any, error) {
 		calls.Add(1)
 		return nil, boom
 	})
 	if !computed || !errors.Is(err, boom) {
 		t.Fatalf("first call: computed=%v err=%v, want computed=true err=boom", computed, err)
 	}
-	if _, ok := cache.Lookup("k"); ok {
+	if _, ok := cache.Lookup(0, "k"); ok {
 		t.Fatalf("failed computation was cached")
 	}
 
-	v, computed, err := cache.GetOrCompute("k", func() (any, error) {
+	v, computed, err := cache.GetOrCompute(0, "k", func() (any, error) {
 		calls.Add(1)
 		return 42, nil
 	})
@@ -112,7 +112,7 @@ func TestSharedCacheErrorRetryConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				v, _, err := cache.GetOrCompute("k", func() (any, error) {
+				v, _, err := cache.GetOrCompute(0, "k", func() (any, error) {
 					if failed.CompareAndSwap(0, 1) {
 						return nil, errors.New("transient")
 					}
@@ -145,19 +145,19 @@ func TestSharedCacheLookupInFlight(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _, _ = cache.GetOrCompute("slow", func() (any, error) {
+		_, _, _ = cache.GetOrCompute(0, "slow", func() (any, error) {
 			close(started)
 			<-release
 			return 1, nil
 		})
 	}()
 	<-started
-	if _, ok := cache.Lookup("slow"); ok {
+	if _, ok := cache.Lookup(0, "slow"); ok {
 		t.Errorf("Lookup returned an in-flight computation")
 	}
 	close(release)
 	<-done
-	if v, ok := cache.Lookup("slow"); !ok || v.(int) != 1 {
+	if v, ok := cache.Lookup(0, "slow"); !ok || v.(int) != 1 {
 		t.Errorf("Lookup after completion: %v, %v", v, ok)
 	}
 }
@@ -166,7 +166,7 @@ func TestSharedCacheLookupInFlight(t *testing.T) {
 func TestSharedCacheReset(t *testing.T) {
 	cache := NewSharedCache()
 	for i := 0; i < 5; i++ {
-		cache.GetOrCompute(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+		cache.GetOrCompute(0, fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
 	}
 	if cache.Len() != 5 {
 		t.Fatalf("Len = %d, want 5", cache.Len())
@@ -187,7 +187,7 @@ func TestRelationRegionBudget(t *testing.T) {
 	cache := NewSharedCache()
 	rel := pairs.RelationFromPairs(4, pairs.Pair{Src: 1, Dst: 2}, pairs.Pair{Src: 2, Dst: 3})
 
-	val, computed, retained, err := cache.GetOrComputeRelation("r1", func() (any, error) { return rel, nil })
+	val, computed, retained, err := cache.GetOrComputeRelation(0, "r1", func() (any, error) { return rel, nil })
 	if err != nil || !computed || !retained || val.(*pairs.Relation) != rel {
 		t.Fatalf("first admission: val=%v computed=%v retained=%v err=%v", val, computed, retained, err)
 	}
@@ -200,7 +200,7 @@ func TestRelationRegionBudget(t *testing.T) {
 	cache.relPairs.Store(relBudgetPairs)
 	computes := 0
 	for i := 0; i < 2; i++ {
-		val, computed, retained, err = cache.GetOrComputeRelation("r2", func() (any, error) {
+		val, computed, retained, err = cache.GetOrComputeRelation(0, "r2", func() (any, error) {
 			computes++
 			return rel, nil
 		})
@@ -216,7 +216,7 @@ func TestRelationRegionBudget(t *testing.T) {
 	}
 
 	// The admitted entry still hits, and reports itself retained.
-	_, computed, retained, _ = cache.GetOrComputeRelation("r1", func() (any, error) { return nil, nil })
+	_, computed, retained, _ = cache.GetOrComputeRelation(0, "r1", func() (any, error) { return nil, nil })
 	if computed || !retained {
 		t.Fatalf("admitted relation should still be cached: computed=%v retained=%v", computed, retained)
 	}
@@ -224,5 +224,102 @@ func TestRelationRegionBudget(t *testing.T) {
 	cache.Reset()
 	if cache.relPairs.Load() != 0 || cache.RelLen() != 0 {
 		t.Fatal("Reset did not clear the relation region")
+	}
+}
+
+// TestSharedCacheEpochRules pins the three epoch access rules and the
+// AdvanceEpoch sweep, including relation-budget uncharging.
+func TestSharedCacheEpochRules(t *testing.T) {
+	cache := NewSharedCache()
+	if _, _, err := cache.GetOrCompute(0, "k", func() (any, error) { return "v0", nil }); err != nil {
+		t.Fatal(err)
+	}
+	rel := pairs.RelationFromPairs(4, pairs.Pair{Src: 1, Dst: 2}, pairs.Pair{Src: 2, Dst: 3})
+	if _, _, _, err := cache.GetOrComputeRelation(0, "r", func() (any, error) { return rel, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.relPairs.Load(); got != relationCost(rel) {
+		t.Fatalf("relPairs = %d, want %d", got, relationCost(rel))
+	}
+
+	// Same epoch: hit, no recompute.
+	v, computed, err := cache.GetOrCompute(0, "k", func() (any, error) { return "nope", nil })
+	if err != nil || computed || v.(string) != "v0" {
+		t.Fatalf("same-epoch access = (%v, %v, %v)", v, computed, err)
+	}
+
+	// AdvanceEpoch migrates the structure (as a patched value) and drops
+	// the relation, uncharging its budget.
+	newEpoch, relDeclined := cache.AdvanceEpoch(0, func(region CacheRegion, key string, val any) (any, bool) {
+		if region == RegionStructure && key == "k" {
+			return "v1", true
+		}
+		return nil, false
+	})
+	if newEpoch != 1 || cache.CurrentEpoch() != 1 {
+		t.Fatalf("epoch after advance = %d / %d, want 1", newEpoch, cache.CurrentEpoch())
+	}
+	if relDeclined != 0 {
+		t.Fatalf("relDeclined = %d, want 0 (the relation was dropped, not declined)", relDeclined)
+	}
+	if v, ok := cache.Lookup(1, "k"); !ok || v.(string) != "v1" {
+		t.Fatalf("migrated entry = (%v, %v), want v1 at epoch 1", v, ok)
+	}
+	if _, ok := cache.Lookup(0, "k"); ok {
+		t.Fatal("Lookup returned a value across epochs")
+	}
+	if cache.RelLen() != 0 || cache.relPairs.Load() != 0 {
+		t.Fatalf("dropped relation still resident: len=%d pairs=%d", cache.RelLen(), cache.relPairs.Load())
+	}
+
+	// Straggler (older epoch than the resident entry): computes
+	// privately and must not evict the newer entry.
+	v, computed, err = cache.GetOrCompute(0, "k", func() (any, error) { return "vOld", nil })
+	if err != nil || !computed || v.(string) != "vOld" {
+		t.Fatalf("straggler access = (%v, %v, %v)", v, computed, err)
+	}
+	if v, ok := cache.Lookup(1, "k"); !ok || v.(string) != "v1" {
+		t.Fatalf("straggler evicted the newer entry: (%v, %v)", v, ok)
+	}
+
+	// Stale entry (installed at an old epoch by an in-flight laggard) is
+	// lazily evicted by a newer reader.
+	if _, _, err := cache.GetOrCompute(0, "k2", func() (any, error) { return "old", nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, computed, err = cache.GetOrCompute(1, "k2", func() (any, error) { return "new", nil })
+	if err != nil || !computed || v.(string) != "new" {
+		t.Fatalf("stale-eviction access = (%v, %v, %v)", v, computed, err)
+	}
+	if se := cache.Counters().StaleEvictions; se != 1 {
+		t.Fatalf("StaleEvictions = %d, want 1", se)
+	}
+	if ce := cache.Counters().CrossEpochHits; ce != 0 {
+		t.Fatalf("CrossEpochHits = %d, want 0", ce)
+	}
+
+	// Provenance guard: a late install at an epoch OLDER than the
+	// updater's pre-update epoch must never be migrated — the updater's
+	// deltas describe only the fromEpoch graph, so a carry would smuggle
+	// a multi-epoch-stale value into the new epoch.
+	if _, _, err := cache.GetOrCompute(0, "k3", func() (any, error) { return "twoBehind", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.GetOrCompute(1, "k4", func() (any, error) { return "oneBehind", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _ = cache.AdvanceEpoch(1, func(region CacheRegion, key string, val any) (any, bool) {
+		if key == "k3" {
+			t.Error("migrate offered an entry older than fromEpoch")
+		}
+		return val, true // carry everything offered
+	}); cache.CurrentEpoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", cache.CurrentEpoch())
+	}
+	if _, ok := cache.Lookup(2, "k3"); ok {
+		t.Fatal("multi-epoch-stale entry survived the sweep")
+	}
+	if v, ok := cache.Lookup(2, "k4"); !ok || v.(string) != "oneBehind" {
+		t.Fatalf("fromEpoch entry not carried: (%v, %v)", v, ok)
 	}
 }

@@ -63,11 +63,11 @@ type planObserver struct {
 // relations by default, the seed's map sets under LayoutMapSet. Either
 // way the public result is a mutable Set; the columnar path materialises
 // it once at this boundary.
-func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
+func (e *engineVersion) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 	if e.opts.Layout == LayoutMapSet {
 		return e.evaluatePlannedMap(q, nil)
 	}
-	rel, err := e.evaluatePlanned(q, nil)
+	rel, err := e.evaluateRelCached(q)
 	if err != nil {
 		return nil, err
 	}
@@ -77,11 +77,25 @@ func (e *Engine) evaluateSharing(q rpq.Expr) (*pairs.Set, error) {
 	return set, nil
 }
 
+// evaluateRelCached is the columnar top-level entry: on caching engines
+// the whole query memoises through the relation region exactly like a
+// sub-query — a query result depends only on the adjacency of the
+// labels it mentions, so the epoch migration's label-disjointness rule
+// applies to it verbatim, and a query untouched by an update batch is
+// answered from the carried sealed relation with zero recomputation.
+// Non-caching engines (NoSharing, DisableCache) evaluate directly.
+func (e *engineVersion) evaluateRelCached(q rpq.Expr) (*pairs.Relation, error) {
+	if !e.shouldCache() {
+		return e.evaluatePlanned(q, nil)
+	}
+	return e.subEvaluateRel(q)
+}
+
 // evaluatePlanned is the columnar plan-execute pipeline: clause results
 // are sealed relations, a single-clause DNF (the common case) returns
 // its relation as-is, and a multi-clause union merges through one pooled
 // builder sealed once.
-func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Relation, error) {
+func (e *engineVersion) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Relation, error) {
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
 	if err != nil {
@@ -147,7 +161,7 @@ func (e *Engine) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.Relation
 // execClause executes one planned clause on the columnar layout. It is
 // the executor half of the plan/execute split: all physical decisions
 // were made by the planner, and this switch only dispatches them.
-func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Relation, clauseActuals, error) {
+func (e *engineVersion) execClause(cp *plan.ClausePlan) (*pairs.Relation, clauseActuals, error) {
 	act := clauseActuals{Pre: -1, Post: -1}
 
 	if cp.Kind == plan.KindAutomaton {
@@ -233,7 +247,7 @@ func (e *Engine) execClause(cp *plan.ClausePlan) (*pairs.Relation, clauseActuals
 // still drops them.) Sealed relations are immutable by contract; every
 // consumer only reads them. Sub-evaluation time counts as Remainder:
 // both sharing methods perform it identically.
-func (e *Engine) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
+func (e *engineVersion) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 	if !e.shouldCache() {
 		return e.evaluatePlanned(q, nil)
 	}
@@ -246,7 +260,7 @@ func (e *Engine) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 	if ok {
 		return rel, nil
 	}
-	val, _, retained, err := e.cache.GetOrComputeRelation(key, func() (any, error) {
+	val, _, retained, err := e.cache.GetOrComputeRelation(e.epoch, key, func() (any, error) {
 		return e.evaluatePlanned(q, nil)
 	})
 	if err != nil {
@@ -267,15 +281,15 @@ func (e *Engine) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 // shouldCache reports whether shared structures and sub-results may be
 // reused across queries. NoSharing never caches — that is its defining
 // property — and DisableCache turns reuse off for the ablation study.
-func (e *Engine) shouldCache() bool {
-	return e.opts.Strategy != NoSharing && !e.opts.DisableCache
+func (sh *engineShared) shouldCache() bool {
+	return sh.opts.Strategy != NoSharing && !sh.opts.DisableCache
 }
 
 // getRTC returns the shared RTC for R, computing it on first use
 // (Algorithm 1 lines 9–11). Under singleflight, concurrent first uses of
 // the same R compute it exactly once — the engine that ran the
 // computation counts the miss, the ones that waited count hits.
-func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
+func (e *engineVersion) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 	if !e.shouldCache() {
 		v, err := e.computeRTC(r)
 		if err != nil {
@@ -285,7 +299,7 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 		return v.structure, nil
 	}
 	key := nsRTC + r.String()
-	val, computed, err := e.cache.GetOrCompute(key, func() (any, error) {
+	val, computed, err := e.cache.GetOrCompute(e.epoch, key, func() (any, error) {
 		return e.computeRTC(r)
 	})
 	if err != nil {
@@ -304,7 +318,7 @@ func (e *Engine) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 // performed identically by both sharing methods, so — like evaluating
 // R_G itself — it counts as Remainder, not Shared_Data (paper
 // Section V-A).
-func (e *Engine) reduceR(r rpq.Expr) (*graph.DiGraph, error) {
+func (e *engineVersion) reduceR(r rpq.Expr) (*graph.DiGraph, error) {
 	if e.opts.Layout == LayoutMapSet {
 		rg, err := e.subEvaluateMap(r)
 		if err != nil {
@@ -327,7 +341,7 @@ func (e *Engine) reduceR(r rpq.Expr) (*graph.DiGraph, error) {
 
 // computeRTC evaluates R and builds its reduced transitive closure.
 // Evaluating R_G is Remainder; the reduction and TC(Ḡ_R) are Shared_Data.
-func (e *Engine) computeRTC(r rpq.Expr) (*rtcValue, error) {
+func (e *engineVersion) computeRTC(r rpq.Expr) (*rtcValue, error) {
 	gr, err := e.reduceR(r) // line 10: R_G via recursive sharing evaluation
 	if err != nil {
 		return nil, err
@@ -356,7 +370,7 @@ func (e *Engine) computeRTC(r rpq.Expr) (*rtcValue, error) {
 // getFullClosure returns the shared full closure R+_G = TC(G_R) for
 // FullSharing, computing it on first use with the same singleflight
 // discipline as getRTC.
-func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
+func (e *engineVersion) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 	if !e.shouldCache() {
 		v, err := e.computeFullClosure(r)
 		if err != nil {
@@ -365,7 +379,7 @@ func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 		e.countLookup(false, v.summary)
 		return v.closure, nil
 	}
-	val, computed, err := e.cache.GetOrCompute(nsFull+r.String(), func() (any, error) {
+	val, computed, err := e.cache.GetOrCompute(e.epoch, nsFull+r.String(), func() (any, error) {
 		return e.computeFullClosure(r)
 	})
 	if err != nil {
@@ -378,7 +392,7 @@ func (e *Engine) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 
 // computeFullClosure evaluates R and materialises the full closure of
 // the edge-level reduced graph G_R.
-func (e *Engine) computeFullClosure(r rpq.Expr) (*fullValue, error) {
+func (e *engineVersion) computeFullClosure(r rpq.Expr) (*fullValue, error) {
 	gr, err := e.reduceR(r)
 	if err != nil {
 		return nil, err

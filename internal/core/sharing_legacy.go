@@ -16,7 +16,7 @@ import (
 // columnar path; only the data plane differs.
 
 // evaluatePlannedMap is evaluatePlanned over the map layout.
-func (e *Engine) evaluatePlannedMap(q rpq.Expr, obs *planObserver) (*pairs.Set, error) {
+func (e *engineVersion) evaluatePlannedMap(q rpq.Expr, obs *planObserver) (*pairs.Set, error) {
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
 	if err != nil {
@@ -60,7 +60,7 @@ func (e *Engine) evaluatePlannedMap(q rpq.Expr, obs *planObserver) (*pairs.Set, 
 }
 
 // execClauseMap executes one planned clause on the map layout.
-func (e *Engine) execClauseMap(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, error) {
+func (e *engineVersion) execClauseMap(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, error) {
 	act := clauseActuals{Pre: -1, Post: -1}
 
 	if cp.Kind == plan.KindAutomaton {
@@ -124,7 +124,7 @@ func (e *Engine) execClauseMap(cp *plan.ClausePlan) (*pairs.Set, clauseActuals, 
 // map sets can be O(|V|²), so they live and die with the engine while
 // only compact structures persist process-wide. Memoised sets are
 // immutable by contract; every consumer only reads them.
-func (e *Engine) subEvaluateMap(q rpq.Expr) (*pairs.Set, error) {
+func (e *engineVersion) subEvaluateMap(q rpq.Expr) (*pairs.Set, error) {
 	if !e.shouldCache() {
 		return e.evaluateSharing(q)
 	}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzApplyUpdates decodes an arbitrary byte stream as an update
+// sequence against a Mutable: inserts, deletes and grows over a small
+// vertex space and label alphabet. Whatever the stream, applying it must
+// never panic, and the final Freeze must be indistinguishable from
+// Builder.Build over the surviving edge list — including the Build-time
+// LabelStats, which the Mutable maintains incrementally.
+func FuzzApplyUpdates(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 2, 0, 1, 0x80, 0, 1})
+	f.Add([]byte{0x40, 3, 3, 0, 1, 2, 0x80, 1, 2, 0xc0, 9})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+
+	labels := []string{"a", "b", "c", "d"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		m := NewMutable(n)
+		oracle := make(map[Edge]bool)
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] >> 6
+			src := VID(data[i] & 0x3f)
+			label := labels[int(data[i+1])%len(labels)]
+			dst := VID(data[i+2])
+			switch op {
+			case 0, 1: // insert (twice as likely as the rest)
+				added, err := m.InsertEdge(src, label, dst)
+				if int(src) < m.NumVertices() && int(dst) < m.NumVertices() {
+					if err != nil {
+						t.Fatalf("in-range insert (%d,%s,%d): %v", src, label, dst, err)
+					}
+					e := Edge{Src: src, Label: m.Dict().Intern(label), Dst: dst}
+					if added == oracle[e] {
+						t.Fatalf("insert %v: added=%v, oracle had=%v", e, added, oracle[e])
+					}
+					oracle[e] = true
+				} else if err == nil {
+					t.Fatalf("out-of-range insert (%d,%s,%d) did not error", src, label, dst)
+				}
+			case 2: // delete
+				removed, err := m.DeleteEdge(src, label, dst)
+				if int(src) < m.NumVertices() && int(dst) < m.NumVertices() {
+					if err != nil {
+						t.Fatalf("in-range delete (%d,%s,%d): %v", src, label, dst, err)
+					}
+					if lid, ok := m.Dict().Lookup(label); ok {
+						e := Edge{Src: src, Label: lid, Dst: dst}
+						if removed != oracle[e] {
+							t.Fatalf("delete %v: removed=%v, oracle %v", e, removed, oracle[e])
+						}
+						delete(oracle, e)
+					} else if removed {
+						t.Fatalf("delete of unknown label %q reported removed", label)
+					}
+				} else if err == nil {
+					t.Fatalf("out-of-range delete (%d,%s,%d) did not error", src, label, dst)
+				}
+			case 3: // grow
+				m.Grow(int(src))
+			}
+		}
+
+		if m.NumEdges() != len(oracle) {
+			t.Fatalf("NumEdges = %d, oracle %d", m.NumEdges(), len(oracle))
+		}
+
+		// Freeze must equal graph.Build on the equivalent final edge list.
+		b := NewBuilderWithDict(m.NumVertices(), NewDictFrom(m.Dict().Names()...))
+		for e := range oracle {
+			if err := b.AddEdgeLID(e.Src, e.Label, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := b.Build()
+		got := m.Freeze()
+		if got.NumEdges() != want.NumEdges() || got.NumVertices() != want.NumVertices() {
+			t.Fatalf("freeze: |V|=%d |E|=%d, build: |V|=%d |E|=%d",
+				got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+		}
+		for l := LID(0); int(l) < want.Dict().Len(); l++ {
+			if gs, ws := got.LabelStats(l), want.LabelStats(l); gs != ws {
+				t.Fatalf("label %q stats: freeze %+v, build %+v", want.Dict().Name(l), gs, ws)
+			}
+			if ls := m.LabelStats(l); ls != want.LabelStats(l) {
+				t.Fatalf("label %q live stats %+v, build %+v", want.Dict().Name(l), ls, want.LabelStats(l))
+			}
+		}
+		want.Edges(func(e Edge) bool {
+			if !got.HasEdge(e.Src, e.Label, e.Dst) {
+				t.Fatalf("freeze missing edge %+v", e)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mutable is a mutable edge-labeled directed multigraph: the ingestion
+// side of the dynamic-graph subsystem. Where Builder is write-once
+// (accumulate edges, Build, done), a Mutable supports interleaved
+// InsertEdge/DeleteEdge with per-label statistics maintained
+// incrementally, and can be frozen into an immutable CSR Graph any
+// number of times. Engines never evaluate against a Mutable directly —
+// Engine.ApplyUpdates freezes one snapshot per update batch, so queries
+// always run over an immutable graph version.
+//
+// A Mutable is not safe for concurrent use; callers serialise mutation
+// (Engine.ApplyUpdates does so internally).
+type Mutable struct {
+	numVertices int
+	numEdges    int
+	dict        *Dict
+	labels      []mutableLabel
+}
+
+// mutableLabel is one label's live adjacency plus the degree tallies the
+// incremental statistics derive from.
+type mutableLabel struct {
+	// out[v] is the set of dsts with an edge (v, l, dst).
+	out map[VID]map[VID]struct{}
+	// outDeg/inDeg count edges per endpoint; a vertex is present iff its
+	// degree is positive, so len(outDeg) is DistinctSrcs.
+	outDeg, inDeg map[VID]int
+	edges         int
+}
+
+func newMutableLabel() mutableLabel {
+	return mutableLabel{
+		out:    make(map[VID]map[VID]struct{}),
+		outDeg: make(map[VID]int),
+		inDeg:  make(map[VID]int),
+	}
+}
+
+// NewMutable returns an empty mutable graph over the dense VID space
+// [0, numVertices).
+func NewMutable(numVertices int) *Mutable {
+	if numVertices < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Mutable{numVertices: numVertices, dict: NewDict()}
+}
+
+// MutableFromGraph copies a frozen Graph into a Mutable, so a build-once
+// graph can start taking updates. The label dictionary is cloned: later
+// inserts interning new labels do not grow the source graph's dict.
+func MutableFromGraph(g *Graph) *Mutable {
+	m := NewMutable(g.NumVertices())
+	for _, name := range g.Dict().Names() {
+		m.dict.Intern(name)
+	}
+	m.labels = make([]mutableLabel, m.dict.Len())
+	for l := range m.labels {
+		m.labels[l] = newMutableLabel()
+	}
+	g.Edges(func(e Edge) bool {
+		m.insertLID(e.Src, e.Label, e.Dst)
+		return true
+	})
+	return m
+}
+
+// NumVertices returns the size of the VID space.
+func (m *Mutable) NumVertices() int { return m.numVertices }
+
+// NumEdges returns the number of distinct (src, label, dst) triples.
+func (m *Mutable) NumEdges() int { return m.numEdges }
+
+// Dict returns the label dictionary. Interning through it without going
+// through InsertEdge is allowed; statistics stay consistent because they
+// are tracked per edge.
+func (m *Mutable) Dict() *Dict { return m.dict }
+
+// Grow extends the vertex space to numVertices. Shrinking is not
+// supported; a smaller value is a no-op.
+func (m *Mutable) Grow(numVertices int) {
+	if numVertices > m.numVertices {
+		m.numVertices = numVertices
+	}
+}
+
+func (m *Mutable) checkEndpoints(src, dst VID) error {
+	if src < 0 || int(src) >= m.numVertices || dst < 0 || int(dst) >= m.numVertices {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", src, dst, m.numVertices)
+	}
+	return nil
+}
+
+// label returns the mutableLabel for an interned LID, growing the slice
+// when the dict gained labels since the last access.
+func (m *Mutable) label(l LID) *mutableLabel {
+	for int(l) >= len(m.labels) {
+		m.labels = append(m.labels, newMutableLabel())
+	}
+	return &m.labels[l]
+}
+
+// InsertEdge adds the edge (src, label, dst), interning the label if it
+// is new. It reports whether the edge was actually added (false: the
+// triple already existed) and errs on out-of-range endpoints.
+func (m *Mutable) InsertEdge(src VID, label string, dst VID) (bool, error) {
+	if err := m.checkEndpoints(src, dst); err != nil {
+		return false, err
+	}
+	return m.insertLID(src, m.dict.Intern(label), dst), nil
+}
+
+func (m *Mutable) insertLID(src VID, l LID, dst VID) bool {
+	ml := m.label(l)
+	dsts := ml.out[src]
+	if dsts == nil {
+		dsts = make(map[VID]struct{})
+		ml.out[src] = dsts
+	}
+	if _, ok := dsts[dst]; ok {
+		return false
+	}
+	dsts[dst] = struct{}{}
+	ml.outDeg[src]++
+	ml.inDeg[dst]++
+	ml.edges++
+	m.numEdges++
+	return true
+}
+
+// DeleteEdge removes the edge (src, label, dst). It reports whether the
+// edge existed (false: nothing to delete, including unknown labels) and
+// errs on out-of-range endpoints.
+func (m *Mutable) DeleteEdge(src VID, label string, dst VID) (bool, error) {
+	if err := m.checkEndpoints(src, dst); err != nil {
+		return false, err
+	}
+	l, ok := m.dict.Lookup(label)
+	if !ok || int(l) >= len(m.labels) {
+		return false, nil
+	}
+	ml := &m.labels[l]
+	dsts := ml.out[src]
+	if _, present := dsts[dst]; !present {
+		return false, nil
+	}
+	delete(dsts, dst)
+	if len(dsts) == 0 {
+		delete(ml.out, src)
+	}
+	if ml.outDeg[src]--; ml.outDeg[src] == 0 {
+		delete(ml.outDeg, src)
+	}
+	if ml.inDeg[dst]--; ml.inDeg[dst] == 0 {
+		delete(ml.inDeg, dst)
+	}
+	ml.edges--
+	m.numEdges--
+	return true, nil
+}
+
+// HasEdge reports whether (src, label, dst) is present.
+func (m *Mutable) HasEdge(src VID, label string, dst VID) bool {
+	l, ok := m.dict.Lookup(label)
+	if !ok || int(l) >= len(m.labels) {
+		return false
+	}
+	_, ok = m.labels[l].out[src][dst]
+	return ok
+}
+
+// LabelStats returns the live statistics of one label's edge relation:
+// the edge and distinct-endpoint counts are maintained incrementally on
+// every insert/delete, and the degree maxima are derived from the
+// maintained per-vertex tallies (one pass over the distinct endpoints,
+// never over the edge sets). The result matches what Build would compute
+// for the same edges.
+func (m *Mutable) LabelStats(label LID) LabelStats {
+	if label < 0 || int(label) >= len(m.labels) {
+		return LabelStats{}
+	}
+	ml := &m.labels[label]
+	s := LabelStats{
+		Edges:        ml.edges,
+		DistinctSrcs: len(ml.outDeg),
+		DistinctDsts: len(ml.inDeg),
+	}
+	for _, d := range ml.outDeg {
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+	}
+	for _, d := range ml.inDeg {
+		if d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	return s
+}
+
+// EachEdge calls fn for every edge in (label, src, dst) order, stopping
+// early if fn returns false.
+func (m *Mutable) EachEdge(fn func(Edge) bool) {
+	for l := range m.labels {
+		ml := &m.labels[l]
+		srcs := make([]VID, 0, len(ml.out))
+		for src := range ml.out {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, src := range srcs {
+			dsts := make([]VID, 0, len(ml.out[src]))
+			for dst := range ml.out[src] {
+				dsts = append(dsts, dst)
+			}
+			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+			for _, dst := range dsts {
+				if !fn(Edge{Src: src, Label: LID(l), Dst: dst}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Freeze snapshots the current edges into an immutable Graph, exactly as
+// if the same edge list had been fed to a Builder — identical CSR layout
+// and identical Build-time LabelStats. Freeze does not consume the
+// Mutable: it can be called after every update batch, and the frozen
+// graph's dict is a clone, so later inserts interning new labels never
+// mutate an already-frozen snapshot's dictionary.
+func (m *Mutable) Freeze() *Graph {
+	dict := NewDict()
+	for _, name := range m.dict.Names() {
+		dict.Intern(name)
+	}
+	b := NewBuilderWithDict(m.numVertices, dict)
+	for l := range m.labels {
+		ml := &m.labels[l]
+		for src, dsts := range ml.out {
+			for dst := range dsts {
+				b.edges = append(b.edges, Edge{Src: src, Label: LID(l), Dst: dst})
+			}
+		}
+	}
+	return b.Build()
+}

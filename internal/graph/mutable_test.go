@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// graphsEqual compares two frozen graphs structurally: vertex space,
+// dictionary, edge sets and Build-time label statistics.
+func graphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("vertices: got %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges: got %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	if gl, wl := got.Dict().Len(), want.Dict().Len(); gl != wl {
+		t.Fatalf("labels: got %d, want %d", gl, wl)
+	}
+	for l := LID(0); int(l) < want.Dict().Len(); l++ {
+		if gn, wn := got.Dict().Name(l), want.Dict().Name(l); gn != wn {
+			t.Fatalf("label %d: got %q, want %q", l, gn, wn)
+		}
+		if gs, ws := got.LabelStats(l), want.LabelStats(l); gs != ws {
+			t.Fatalf("label %q stats: got %+v, want %+v", want.Dict().Name(l), gs, ws)
+		}
+	}
+	want.Edges(func(e Edge) bool {
+		if !got.HasEdge(e.Src, e.Label, e.Dst) {
+			t.Fatalf("missing edge %+v", e)
+		}
+		return true
+	})
+}
+
+func TestMutableInsertDelete(t *testing.T) {
+	m := NewMutable(4)
+	added, err := m.InsertEdge(0, "a", 1)
+	if err != nil || !added {
+		t.Fatalf("insert: added=%v err=%v", added, err)
+	}
+	if added, _ := m.InsertEdge(0, "a", 1); added {
+		t.Fatal("duplicate insert reported added")
+	}
+	if !m.HasEdge(0, "a", 1) {
+		t.Fatal("HasEdge after insert")
+	}
+	if m.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", m.NumEdges())
+	}
+	if removed, _ := m.DeleteEdge(0, "a", 1); !removed {
+		t.Fatal("delete existing reported absent")
+	}
+	if removed, _ := m.DeleteEdge(0, "a", 1); removed {
+		t.Fatal("double delete reported removed")
+	}
+	if removed, _ := m.DeleteEdge(0, "nope", 1); removed {
+		t.Fatal("unknown-label delete reported removed")
+	}
+	if m.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", m.NumEdges())
+	}
+	if _, err := m.InsertEdge(0, "a", 9); err == nil {
+		t.Fatal("out-of-range insert did not error")
+	}
+	if _, err := m.DeleteEdge(-1, "a", 0); err == nil {
+		t.Fatal("out-of-range delete did not error")
+	}
+}
+
+func TestMutableGrow(t *testing.T) {
+	m := NewMutable(2)
+	if _, err := m.InsertEdge(0, "a", 3); err == nil {
+		t.Fatal("insert beyond space did not error")
+	}
+	m.Grow(4)
+	if _, err := m.InsertEdge(0, "a", 3); err != nil {
+		t.Fatalf("insert after Grow: %v", err)
+	}
+	m.Grow(1) // shrink is a no-op
+	if m.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", m.NumVertices())
+	}
+}
+
+// TestMutableFreezeMatchesBuild drives a random insert/delete sequence
+// and checks after several prefixes that Freeze is indistinguishable
+// from Builder.Build over the surviving edges — the update-oracle
+// equivalence at the graph layer.
+func TestMutableFreezeMatchesBuild(t *testing.T) {
+	const n = 24
+	labels := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(11))
+	m := NewMutable(n)
+	live := make(map[Edge]bool)
+
+	check := func() {
+		t.Helper()
+		b := NewBuilderWithDict(n, NewDictFrom(m.Dict().Names()...))
+		for e := range live {
+			if err := b.AddEdgeLID(e.Src, e.Label, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		graphsEqual(t, m.Freeze(), b.Build())
+	}
+
+	for step := 0; step < 600; step++ {
+		src, dst := VID(rng.Intn(n)), VID(rng.Intn(n))
+		label := labels[rng.Intn(len(labels))]
+		lid := m.Dict().Intern(label)
+		e := Edge{Src: src, Label: lid, Dst: dst}
+		if rng.Intn(3) == 0 {
+			removed, err := m.DeleteEdge(src, label, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != live[e] {
+				t.Fatalf("step %d: delete %v removed=%v, oracle %v", step, e, removed, live[e])
+			}
+			delete(live, e)
+		} else {
+			added, err := m.InsertEdge(src, label, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if added == live[e] {
+				t.Fatalf("step %d: insert %v added=%v, oracle had=%v", step, e, added, live[e])
+			}
+			live[e] = true
+		}
+		if step%97 == 0 {
+			check()
+		}
+	}
+	check()
+
+	// Live stats must agree with the frozen graph's Build-time stats.
+	frozen := m.Freeze()
+	for l := LID(0); int(l) < m.Dict().Len(); l++ {
+		if got, want := m.LabelStats(l), frozen.LabelStats(l); got != want {
+			t.Fatalf("label %d live stats %+v, frozen %+v", l, got, want)
+		}
+	}
+}
+
+func TestMutableFromGraphRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.MustAddEdge(0, "a", 1)
+	b.MustAddEdge(1, "b", 2)
+	b.MustAddEdge(2, "a", 0)
+	b.MustAddEdge(4, "c", 4)
+	g := b.Build()
+
+	m := MutableFromGraph(g)
+	graphsEqual(t, m.Freeze(), g)
+
+	// The cloned dict keeps the source graph insulated from later interns.
+	if _, err := m.InsertEdge(3, "fresh", 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.Dict().Len() != 3 {
+		t.Fatalf("source dict grew to %d labels", g.Dict().Len())
+	}
+	if m.Dict().Len() != 4 {
+		t.Fatalf("mutable dict has %d labels, want 4", m.Dict().Len())
+	}
+}

@@ -1,0 +1,273 @@
+// Incremental RTC maintenance (DESIGN.md §9). The paper computes the
+// RTC of a frozen G_R; under a dynamic graph the engine wants to carry a
+// cached RTC across an update batch instead of re-evaluating R and
+// re-reducing from scratch. InsertEdges patches all three parts of the
+// structure — SCC membership, condensation and TC(Ḡ_R) — for a batch of
+// G_R edge inserts, in copy-on-write style: the receiver stays valid for
+// readers of the old graph epoch while the patched copy serves the new
+// one.
+//
+// The update taxonomy, per inserted G_R edge (u, w):
+//
+//   - fresh endpoints: a vertex outside V_R joins as a new singleton SCC
+//     (the SID space grows at the end);
+//   - intra-SCC or already-implied: the closure is unchanged (a lone
+//     self-loop on a singleton adds exactly its (s, s) pair);
+//   - cross-SCC, acyclic: the Italiano patch of tc.DynClosure — every
+//     SCC reaching s_u now reaches everything reachable from s_w;
+//   - cycle-creating (s_w already reaches s_u): every SCC on a path from
+//     s_w to s_u collapses into one; members, reach rows and the rows of
+//     every neighbour are rewritten, and the dead SIDs are renumbered
+//     away when the patch seals.
+//
+// Deletes are NOT handled here: decremental reachability cannot be
+// patched locally (removing one edge can sever arbitrarily many pairs),
+// so the engine falls back to recomputing the structure — the
+// incremental-vs-rebuild policy of DESIGN.md §9.
+package rtc
+
+import (
+	"slices"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/scc"
+	"rtcshare/internal/tc"
+)
+
+// InsertEdges returns a new RTC equal to Compute over G_R with the given
+// edges added. The receiver is never modified. SID numbering of the
+// result is dense but arbitrary: unlike a freshly computed RTC it is not
+// guaranteed to be in reverse topological order (nothing downstream of
+// construction relies on that order).
+func (r *RTC) InsertEdges(edges []pairs.Pair) *RTC {
+	p := newPatch(r)
+	for _, e := range edges {
+		p.insert(e.Src, e.Dst)
+	}
+	return p.seal()
+}
+
+// patch is the working state of one InsertEdges call.
+type patch struct {
+	old   *RTC
+	comps *scc.Components // CompOf deep-copied; Members rows copy-on-write
+	dyn   *tc.DynClosure  // TC(Ḡ_R) under mutation, SID space
+
+	// alive[s] is false once SCC s has been absorbed by a merge;
+	// redirect[s] then names the absorbing SCC (possibly itself dead —
+	// resolve follows the chain).
+	alive    []bool
+	redirect []int32
+
+	// delta records the inserted edges at vertex level; the sealed
+	// condensation is the old condensation's edges remapped through the
+	// merges, plus these mapped through the final CompOf.
+	delta []pairs.Pair
+
+	// scratch for the merge set.
+	inS map[int32]bool
+}
+
+func newPatch(r *RTC) *patch {
+	k := r.comps.NumComponents()
+	p := &patch{
+		old:      r,
+		comps:    r.comps.Clone(),
+		dyn:      tc.NewDyn(r.closure),
+		alive:    make([]bool, k),
+		redirect: make([]int32, k),
+		inS:      make(map[int32]bool),
+	}
+	for s := range p.alive {
+		p.alive[s] = true
+		p.redirect[s] = int32(s)
+	}
+	return p
+}
+
+// sid returns the SCC of v, minting a singleton for a vertex that was
+// outside V_R.
+func (p *patch) sid(v graph.VID) int32 {
+	if s := p.comps.CompOf[v]; s >= 0 {
+		return s
+	}
+	s := int32(len(p.comps.Members))
+	p.comps.CompOf[v] = s
+	p.comps.Members = append(p.comps.Members, []graph.VID{v})
+	p.alive = append(p.alive, true)
+	p.redirect = append(p.redirect, s)
+	p.dyn.Grow(int(s) + 1)
+	return s
+}
+
+// insert patches the structure for one G_R edge (u, w).
+func (p *patch) insert(u, w graph.VID) {
+	p.delta = append(p.delta, pairs.Pair{Src: u, Dst: w})
+	su, sw := p.sid(u), p.sid(w)
+	if su != sw && p.dyn.Has(sw, su) && !p.dyn.Has(su, sw) {
+		p.merge(su, sw)
+		return
+	}
+	// Everything else is plain reachability: AddEdge no-ops when s_w is
+	// already reachable (or the self-pair exists) and otherwise adds
+	// exactly the product of new pairs.
+	p.dyn.AddEdge(su, sw)
+}
+
+// merge handles a cycle-creating insert s_u → s_w where s_w already
+// reaches s_u: the SCCs on the new cycle,
+//
+//	S = ({s_w} ∪ From(s_w)) ∩ ({s_u} ∪ Into(s_u)),
+//
+// collapse into s_u. Their members union, every predecessor of the
+// merged SCC now reaches everything it reaches, and the dead SIDs are
+// scrubbed from every neighbouring reach row (rows not adjacent to S
+// cannot contain members of S, so the scrub is local).
+func (p *patch) merge(su, sw int32) {
+	d := p.dyn
+	rep := su
+	clear(p.inS)
+	p.inS[sw] = true
+	for s := range d.From[sw] {
+		if s == su || containsSID(d.Into[su], s) {
+			p.inS[s] = true
+		}
+	}
+	// su joins via the new edge; sw's filter caught it too (s_u ∈
+	// From(s_w)), but be explicit.
+	p.inS[su] = true
+
+	// Union members; union reach rows minus S itself.
+	fromRep := make(map[graph.VID]struct{})
+	intoRep := make(map[graph.VID]struct{})
+	var members []graph.VID
+	for s := range p.inS {
+		members = append(members, p.comps.Members[s]...)
+		for t := range d.From[s] {
+			if !p.inS[t] {
+				fromRep[t] = struct{}{}
+			}
+		}
+		for q := range d.Into[s] {
+			if !p.inS[q] {
+				intoRep[q] = struct{}{}
+			}
+		}
+	}
+	slices.Sort(members)
+
+	// Every predecessor of the merged SCC reaches it and everything it
+	// reaches; symmetrically for successors. Dead SIDs can only appear
+	// in rows of these very neighbours, so this loop also completes the
+	// scrub.
+	for q := range intoRep {
+		row := d.From[q]
+		for s := range p.inS {
+			delete(row, s)
+		}
+		row[rep] = struct{}{}
+		for t := range fromRep {
+			row[t] = struct{}{}
+		}
+	}
+	for t := range fromRep {
+		row := d.Into[t]
+		for s := range p.inS {
+			delete(row, s)
+		}
+		row[rep] = struct{}{}
+		for q := range intoRep {
+			row[q] = struct{}{}
+		}
+	}
+
+	// The merged SCC is a cycle: it reaches itself.
+	fromRep[rep] = struct{}{}
+	intoRep[rep] = struct{}{}
+	d.From[rep] = fromRep
+	d.Into[rep] = intoRep
+
+	for s := range p.inS {
+		if s == rep {
+			continue
+		}
+		for _, v := range p.comps.Members[s] {
+			p.comps.CompOf[v] = rep
+		}
+		p.comps.Members[s] = nil
+		d.From[s], d.Into[s] = nil, nil
+		p.alive[s] = false
+		p.redirect[s] = rep
+	}
+	p.comps.Members[rep] = members
+}
+
+// resolve follows the redirect chain of a (possibly dead) old SID to its
+// live representative.
+func (p *patch) resolve(s int32) int32 {
+	for !p.alive[s] {
+		s = p.redirect[s]
+	}
+	return s
+}
+
+// seal renumbers the surviving SIDs densely and freezes the patched
+// parts into an immutable RTC.
+func (p *patch) seal() *RTC {
+	newID := make([]int32, len(p.alive))
+	k := int32(0)
+	for s, a := range p.alive {
+		if a {
+			newID[s] = k
+			k++
+		} else {
+			newID[s] = -1
+		}
+	}
+
+	comps := &scc.Components{
+		CompOf:  p.comps.CompOf,
+		Members: make([][]graph.VID, k),
+	}
+	for v, s := range comps.CompOf {
+		if s >= 0 {
+			comps.CompOf[v] = newID[s]
+		}
+	}
+	for s, a := range p.alive {
+		if a {
+			comps.Members[newID[s]] = p.comps.Members[s]
+		}
+	}
+
+	// Condensation: the old condensation's edges survive remapped through
+	// the merges (an edge between two merged SCCs becomes the self-loop
+	// their cycle earned), plus the inserted edges through the final
+	// CompOf. DiBuilder dedups.
+	b := graph.NewDiBuilderCap(int(k), p.old.condensation.NumEdges()+len(p.delta))
+	p.old.condensation.Edges(func(s, t graph.VID) bool {
+		b.AddEdge(newID[p.resolve(s)], newID[p.resolve(t)])
+		return true
+	})
+	for _, e := range p.delta {
+		b.AddEdge(comps.CompOf[e.Src], comps.CompOf[e.Dst])
+	}
+
+	return &RTC{
+		comps:        comps,
+		condensation: b.Build(),
+		closure:      p.dyn.SealRemapped(int(k), newID),
+	}
+}
+
+// containsSID reports membership in a reach row.
+func containsSID(row map[graph.VID]struct{}, s int32) bool {
+	_, ok := row[s]
+	return ok
+}
+
+// NumActiveVertices returns |V_R|: the vertices assigned to some SCC.
+// For a freshly computed RTC this equals the reduced graph's NumActive;
+// for a patched RTC it is maintained through the patch.
+func (r *RTC) NumActiveVertices() int { return r.comps.NumActiveVertices() }

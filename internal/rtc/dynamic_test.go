@@ -1,0 +1,148 @@
+package rtc
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+)
+
+// rtcsEquivalent checks that two RTCs describe the same reduced
+// structure up to SID renumbering: identical SCC partitions, identical
+// vertex-level reachability, and identical condensations under the SID
+// correspondence.
+func rtcsEquivalent(t *testing.T, n int, got, want *RTC, ctx string) {
+	t.Helper()
+	if g, w := got.NumReducedVertices(), want.NumReducedVertices(); g != w {
+		t.Fatalf("%s: reduced vertices %d, want %d", ctx, g, w)
+	}
+	if g, w := got.NumActiveVertices(), want.NumActiveVertices(); g != w {
+		t.Fatalf("%s: active vertices %d, want %d", ctx, g, w)
+	}
+	if g, w := got.NumSharedPairs(), want.NumSharedPairs(); g != w {
+		t.Fatalf("%s: shared pairs %d, want %d", ctx, g, w)
+	}
+
+	// Partition equality plus the SID correspondence want → got.
+	sidMap := make([]int32, want.NumReducedVertices())
+	for ws := int32(0); int(ws) < want.NumReducedVertices(); ws++ {
+		members := want.Members(ws)
+		gs := got.CompOf(members[0])
+		if gs < 0 {
+			t.Fatalf("%s: vertex %d inactive in patched RTC", ctx, members[0])
+		}
+		sidMap[ws] = gs
+		gm := got.Members(gs)
+		if len(gm) != len(members) {
+			t.Fatalf("%s: SCC of %d has %d members, want %d", ctx, members[0], len(gm), len(members))
+		}
+		for i := range members {
+			if gm[i] != members[i] {
+				t.Fatalf("%s: SCC of %d members %v, want %v", ctx, members[0], gm, members)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		gs, ws := got.CompOf(graph.VID(v)), want.CompOf(graph.VID(v))
+		if (gs < 0) != (ws < 0) || (ws >= 0 && gs != sidMap[ws]) {
+			t.Fatalf("%s: vertex %d in SCC %d, want image of %d", ctx, v, gs, ws)
+		}
+	}
+
+	// Vertex-level reachability (Theorem 1's R+_G).
+	for u := 0; u < n; u++ {
+		for w := 0; w < n; w++ {
+			if g, wr := got.Reachable(graph.VID(u), graph.VID(w)), want.Reachable(graph.VID(u), graph.VID(w)); g != wr {
+				t.Fatalf("%s: Reachable(%d,%d) = %v, want %v", ctx, u, w, g, wr)
+			}
+		}
+	}
+
+	// Condensation equality under the correspondence.
+	gc, wc := got.Condensation(), want.Condensation()
+	if gc.NumEdges() != wc.NumEdges() {
+		t.Fatalf("%s: condensation has %d edges, want %d", ctx, gc.NumEdges(), wc.NumEdges())
+	}
+	wc.Edges(func(ws, wt graph.VID) bool {
+		if !gc.HasEdge(sidMap[ws], sidMap[wt]) {
+			t.Fatalf("%s: condensation missing edge %d→%d (image of %d→%d)", ctx, sidMap[ws], sidMap[wt], ws, wt)
+		}
+		return true
+	})
+}
+
+// TestInsertEdgesMatchesCompute grows random reduced graphs batch by
+// batch and checks after every batch that the incrementally patched RTC
+// is equivalent to Compute over the rebuilt G_R — fresh singletons,
+// already-implied edges, self-loops and cycle-creating merges all occur
+// at these densities, including merge chains across batches.
+func TestInsertEdgesMatchesCompute(t *testing.T) {
+	for _, n := range []int{8, 16, 28} {
+		for seed := int64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewSource(1700*int64(n) + seed))
+			var edges []pairs.Pair
+			addRandom := func(count int) []pairs.Pair {
+				var delta []pairs.Pair
+				for i := 0; i < count; i++ {
+					delta = append(delta, pairs.Pair{Src: graph.VID(rng.Intn(n)), Dst: graph.VID(rng.Intn(n))})
+				}
+				edges = append(edges, delta...)
+				return delta
+			}
+			rebuild := func() *RTC {
+				b := graph.NewDiBuilder(n)
+				for _, e := range edges {
+					b.AddEdge(e.Src, e.Dst)
+				}
+				return Compute(b.Build(), BFSClosure)
+			}
+
+			addRandom(n / 2)
+			cur := rebuild()
+			for batch := 0; batch < 7; batch++ {
+				delta := addRandom(1 + rng.Intn(5))
+				prevEdges := len(edges) - len(delta)
+				prev := cur
+				cur = cur.InsertEdges(delta)
+				rtcsEquivalent(t, n, cur, rebuild(), "patched")
+
+				// The receiver must be untouched (old-epoch readers keep it).
+				edges = edges[:prevEdges]
+				rtcsEquivalent(t, n, prev, rebuild(), "receiver")
+				edges = edges[:prevEdges+len(delta)]
+			}
+		}
+	}
+}
+
+// TestInsertEdgesTaxonomy pins the §9 update taxonomy on a hand-built
+// graph: 0→1→2 plus an inactive vertex 3.
+func TestInsertEdgesTaxonomy(t *testing.T) {
+	b := graph.NewDiBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	base := Compute(b.Build(), BFSClosure)
+
+	// Fresh endpoint: 2→3 activates vertex 3 as a singleton.
+	r := base.InsertEdges([]pairs.Pair{{Src: 2, Dst: 3}})
+	if r.NumActiveVertices() != 4 || !r.Reachable(0, 3) {
+		t.Fatalf("fresh endpoint: active=%d reach(0,3)=%v", r.NumActiveVertices(), r.Reachable(0, 3))
+	}
+	// Already implied: 0→2 changes nothing.
+	if r2 := r.InsertEdges([]pairs.Pair{{Src: 0, Dst: 2}}); r2.NumSharedPairs() != r.NumSharedPairs() {
+		t.Fatalf("implied edge changed closure: %d vs %d", r2.NumSharedPairs(), r.NumSharedPairs())
+	}
+	// Cycle-creating: 3→0 collapses {0,1,2,3} into one SCC.
+	r3 := r.InsertEdges([]pairs.Pair{{Src: 3, Dst: 0}})
+	if r3.NumReducedVertices() != 1 {
+		t.Fatalf("merge left %d SCCs, want 1", r3.NumReducedVertices())
+	}
+	if !r3.Reachable(2, 1) || !r3.Reachable(1, 1) {
+		t.Fatal("merged SCC not mutually reachable")
+	}
+	// The base structure never changed.
+	if base.NumActiveVertices() != 3 || base.Reachable(2, 3) {
+		t.Fatal("InsertEdges mutated its receiver")
+	}
+}

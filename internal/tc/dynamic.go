@@ -1,0 +1,197 @@
+// Incremental closure maintenance. A DynClosure is the mutable working
+// form of a Closure while a batch of edge inserts is patched in:
+// reachability is held as per-vertex hash sets in both directions, so an
+// insert can walk "everything that reaches u" and "everything reachable
+// from w" without re-running a closure algorithm, and Seal freezes the
+// result back into an immutable Closure. This is the Italiano-style
+// on-line transitive closure update: inserting the edge (u, w) adds
+// exactly the pairs {p ⇝ u} × {w ⇝ t}, and a source that already
+// reaches w is skipped wholesale because closure transitivity guarantees
+// it already has every target.
+//
+// DynClosure works at whatever vertex granularity its source Closure
+// does: internal/rtc patches TC(Ḡ_R) at SCC granularity (layering SCC
+// merges on top via the exported From/Into sets), while FullSharing's
+// R+_G = TC(G_R) is patched at vertex granularity by Closure.InsertEdges
+// directly — plain reachability needs no merge handling, a
+// cycle-creating insert is just more pairs.
+package tc
+
+import (
+	"slices"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+)
+
+// DynClosure is a transitive closure under mutation. The source Closure
+// is never modified; Seal produces a fresh immutable Closure. Not safe
+// for concurrent use.
+type DynClosure struct {
+	n int
+	// From[v] / Into[v] are v's forward and backward reach sets; nil
+	// means empty. Exported so internal/rtc can perform the SCC-merge row
+	// surgery its SID-level patching needs; AddEdge keeps the two sides
+	// and the pair count consistent, and any direct mutation must too.
+	From, Into []map[graph.VID]struct{}
+	// Pairs is the live pair count.
+	Pairs int
+
+	// scratch for AddEdge's snapshot of the two product sides.
+	srcs, dsts []graph.VID
+}
+
+// NewDyn explodes a Closure into its mutable form: O(pairs) map inserts.
+func NewDyn(c *Closure) *DynClosure {
+	d := &DynClosure{
+		n:    c.numVertices,
+		From: make([]map[graph.VID]struct{}, c.numVertices),
+		Into: make([]map[graph.VID]struct{}, c.numVertices),
+	}
+	c.Each(func(u, w graph.VID) bool {
+		d.addPair(u, w)
+		return true
+	})
+	return d
+}
+
+// NumVertices returns the size of the VID space.
+func (d *DynClosure) NumVertices() int { return d.n }
+
+// Grow extends the VID space to n vertices with empty reach sets — how
+// the SID-level patching accommodates the fresh singleton SCCs minted
+// for previously inactive vertices. Shrinking is a no-op.
+func (d *DynClosure) Grow(n int) {
+	for d.n < n {
+		d.From = append(d.From, nil)
+		d.Into = append(d.Into, nil)
+		d.n++
+	}
+}
+
+// Has reports whether (u, w) is in the closure.
+func (d *DynClosure) Has(u, w graph.VID) bool {
+	_, ok := d.From[u][w]
+	return ok
+}
+
+// addPair inserts (u, w) into both directions, reporting whether it was
+// new.
+func (d *DynClosure) addPair(u, w graph.VID) bool {
+	fu := d.From[u]
+	if fu == nil {
+		fu = make(map[graph.VID]struct{})
+		d.From[u] = fu
+	}
+	if _, ok := fu[w]; ok {
+		return false
+	}
+	fu[w] = struct{}{}
+	iw := d.Into[w]
+	if iw == nil {
+		iw = make(map[graph.VID]struct{})
+		d.Into[w] = iw
+	}
+	iw[u] = struct{}{}
+	d.Pairs++
+	return true
+}
+
+// AddEdge patches the closure for one inserted edge (u, w): every vertex
+// that reaches u (or is u) now reaches everything reachable from w (and
+// w itself). Both product sides are snapshotted first, so a
+// cycle-creating insert — w already reaching u — needs no special case:
+// it simply lands pairs like (u, u).
+func (d *DynClosure) AddEdge(u, w graph.VID) {
+	if d.Has(u, w) {
+		// u already reached w, so by transitivity it (and everything
+		// reaching it) already has every target this edge could add.
+		return
+	}
+	d.dsts = append(d.dsts[:0], w)
+	for t := range d.From[w] {
+		d.dsts = append(d.dsts, t)
+	}
+	d.srcs = append(d.srcs[:0], u)
+	for p := range d.Into[u] {
+		d.srcs = append(d.srcs, p)
+	}
+	for _, p := range d.srcs {
+		if p != u && d.Has(p, w) {
+			// p's reach set is closed and already contains w, hence every
+			// target; skipping it wholesale is what keeps the patch
+			// bounded by the genuinely new pairs.
+			continue
+		}
+		for _, t := range d.dsts {
+			d.addPair(p, t)
+		}
+	}
+}
+
+// Seal freezes the mutable closure back into an immutable Closure with
+// sorted successor lists.
+func (d *DynClosure) Seal() *Closure {
+	return d.SealRemapped(d.n, nil)
+}
+
+// SealRemapped seals onto a renumbered vertex space: row v of the
+// dynamic closure becomes row remap[v] of the sealed one, and every
+// member is mapped the same way. Rows whose remap entry is negative are
+// dropped (they must already be empty — a dead SID after an SCC merge).
+// A nil remap is the identity over an n-sized space.
+func (d *DynClosure) SealRemapped(n int, remap []int32) *Closure {
+	c := &Closure{numVertices: n, succ: make([][]graph.VID, n)}
+	for v := range d.From {
+		row := d.From[v]
+		if len(row) == 0 {
+			continue
+		}
+		nv := graph.VID(v)
+		if remap != nil {
+			nv = remap[v]
+			if nv < 0 {
+				continue
+			}
+		}
+		out := make([]graph.VID, 0, len(row))
+		for t := range row {
+			if remap != nil {
+				t = remap[t]
+			}
+			out = append(out, t)
+		}
+		slices.Sort(out)
+		c.succ[nv] = out
+		c.numPairs += len(out)
+	}
+	return c
+}
+
+// InsertEdges returns a new Closure equal to recomputing the closure of
+// the source digraph with the given edges added. The receiver is not
+// modified, so closures shared immutably across goroutines (the cached
+// R+_G structures) stay safe: the patched copy is installed for the new
+// graph epoch while old-epoch readers keep the original.
+func (c *Closure) InsertEdges(edges []pairs.Pair) *Closure {
+	d := NewDyn(c)
+	for _, e := range edges {
+		d.AddEdge(e.Src, e.Dst)
+	}
+	return d.Seal()
+}
+
+// NumActive counts the vertices incident to at least one closure pair —
+// for a closure of G_R this equals |V_R|, since every active vertex of
+// G_R has an edge and therefore at least one closure pair in some
+// direction. It walks both directions via the lazily built transpose.
+func (c *Closure) NumActive() int {
+	inv := c.Inverted()
+	n := 0
+	for v := 0; v < c.numVertices; v++ {
+		if len(c.succ[v]) > 0 || len(inv.succ[v]) > 0 {
+			n++
+		}
+	}
+	return n
+}

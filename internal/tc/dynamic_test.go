@@ -1,0 +1,74 @@
+package tc
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+)
+
+// buildDi freezes an edge list into a DiGraph.
+func buildDi(n int, edges []pairs.Pair) *graph.DiGraph {
+	b := graph.NewDiBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+// TestInsertEdgesMatchesRecompute grows random digraphs one insert batch
+// at a time and checks after every batch that the incrementally patched
+// closure equals a from-scratch BFS closure of the grown graph — the
+// update oracle at the tc layer. Batches deliberately mix edge kinds:
+// fresh vertices, already-implied pairs, duplicates and cycle-creating
+// back edges all occur at these densities.
+func TestInsertEdgesMatchesRecompute(t *testing.T) {
+	for _, n := range []int{6, 12, 24} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(900*int64(n) + seed))
+			var edges []pairs.Pair
+			// Seed graph: a few initial edges, closed from scratch.
+			for i := 0; i < n/2; i++ {
+				edges = append(edges, pairs.Pair{Src: graph.VID(rng.Intn(n)), Dst: graph.VID(rng.Intn(n))})
+			}
+			cur := BFS(buildDi(n, edges))
+
+			for batch := 0; batch < 6; batch++ {
+				var delta []pairs.Pair
+				for i := 0; i < 1+rng.Intn(4); i++ {
+					delta = append(delta, pairs.Pair{Src: graph.VID(rng.Intn(n)), Dst: graph.VID(rng.Intn(n))})
+				}
+				edges = append(edges, delta...)
+				prev := cur
+				cur = cur.InsertEdges(delta)
+				want := BFS(buildDi(n, edges))
+				if !cur.Equal(want) {
+					t.Fatalf("n=%d seed=%d batch=%d: patched closure %d pairs, recomputed %d",
+						n, seed, batch, cur.NumPairs(), want.NumPairs())
+				}
+				if wantPrev := BFS(buildDi(n, edges[:len(edges)-len(delta)])); !prev.Equal(wantPrev) {
+					t.Fatalf("n=%d seed=%d batch=%d: InsertEdges mutated its receiver", n, seed, batch)
+				}
+				if got, want := cur.NumActive(), buildDi(n, edges).NumActive(); got != want {
+					t.Fatalf("n=%d seed=%d batch=%d: NumActive %d, digraph active %d", n, seed, batch, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDynClosureSealRemapped(t *testing.T) {
+	// 0→1→2 with row 1 remapped to 0, row 0 to 1, row 2 dropped... rows
+	// must be empty to drop, so remap a 3-vertex chain onto a 2-vertex
+	// space after verifying vertex 2 has no forward row.
+	c := BFS(buildDi(3, []pairs.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}))
+	d := NewDyn(c)
+	sealed := d.SealRemapped(3, []int32{1, 0, 2})
+	if !sealed.Reachable(1, 0) || !sealed.Reachable(1, 2) || !sealed.Reachable(0, 2) {
+		t.Fatalf("remapped closure wrong: %v", sealed.succ)
+	}
+	if sealed.NumPairs() != c.NumPairs() {
+		t.Fatalf("remap changed pair count: %d vs %d", sealed.NumPairs(), c.NumPairs())
+	}
+}

@@ -58,6 +58,14 @@ type Graph = graph.Graph
 // GraphBuilder accumulates labeled edges and freezes them into a Graph.
 type GraphBuilder = graph.Builder
 
+// MutableGraph is a mutable labeled multigraph supporting interleaved
+// InsertEdge/DeleteEdge with incrementally maintained per-label
+// statistics, freezable into an immutable Graph any number of times —
+// the ingestion side of the dynamic-graph subsystem. (Engines take
+// updates directly through Engine.ApplyUpdates; a MutableGraph is for
+// building and evolving graphs outside an engine.)
+type MutableGraph = graph.Mutable
+
 // GraphStats summarises a graph (|V|, |E|, |Σ|, degree per label).
 type GraphStats = graph.Stats
 
@@ -66,6 +74,16 @@ type GraphStats = graph.Stats
 func NewGraphBuilder(numVertices int) *GraphBuilder {
 	return graph.NewBuilder(numVertices)
 }
+
+// NewMutableGraph returns an empty mutable graph over the dense vertex
+// space [0, numVertices).
+func NewMutableGraph(numVertices int) *MutableGraph {
+	return graph.NewMutable(numVertices)
+}
+
+// MutableFromGraph copies a frozen Graph into a MutableGraph so it can
+// start taking updates.
+func MutableFromGraph(g *Graph) *MutableGraph { return graph.MutableFromGraph(g) }
 
 // ReadGraph parses the text edge-list format ("src label dst" lines with
 // an optional "%vertices N" directive).
@@ -178,22 +196,62 @@ type Stats = core.Stats
 // the shared pair count, and the reduced-graph vertex counts.
 type SharedSummary = core.SharedSummary
 
-// Engine evaluates RPQs over one graph, sharing closure structures
-// across queries. It is safe for concurrent use: the shared structures
-// live in a SharedCache (singleflight-deduplicated, so concurrent
-// queries needing the same closure sub-query compute it once), and the
-// per-engine accounting is lock-protected. Engine.Fork creates engines
-// that share the receiver's cache; Engine.EvaluateBatchParallel fans a
-// query batch over such forks.
+// Engine evaluates RPQs over one (updatable) graph, sharing closure
+// structures across queries. It is safe for concurrent use: the shared
+// structures live in a SharedCache (singleflight-deduplicated, so
+// concurrent queries needing the same closure sub-query compute it
+// once), and the per-engine accounting is lock-protected. Engine.Fork
+// creates engines that share the receiver's cache;
+// Engine.EvaluateBatchParallel fans a query batch over such forks.
+//
+// Engine.ApplyUpdates mutates the graph between (or concurrently with)
+// query batches: it freezes a new graph version, advances the cache to
+// a new epoch — carrying cached structures whose sub-queries mention no
+// updated label, incrementally patching single-label closure structures
+// under insert-only deltas, and dropping the rest for recompute on
+// demand — and atomically swaps the engine onto the new version.
+// Running queries finish against the version they started on; a result
+// always describes exactly one graph epoch.
 type Engine = core.Engine
 
+// GraphUpdate is one edge mutation for Engine.ApplyUpdates; build them
+// with InsertEdge/DeleteEdge.
+type GraphUpdate = core.GraphUpdate
+
+// UpdateOp is the kind of a GraphUpdate.
+type UpdateOp = core.UpdateOp
+
+const (
+	// OpInsertEdge adds a labeled edge (no-op if present).
+	OpInsertEdge = core.OpInsertEdge
+	// OpDeleteEdge removes a labeled edge (no-op if absent).
+	OpDeleteEdge = core.OpDeleteEdge
+)
+
+// InsertEdge returns an insert update for Engine.ApplyUpdates.
+func InsertEdge(src VID, label string, dst VID) GraphUpdate {
+	return core.InsertEdge(src, label, dst)
+}
+
+// DeleteEdge returns a delete update for Engine.ApplyUpdates.
+func DeleteEdge(src VID, label string, dst VID) GraphUpdate {
+	return core.DeleteEdge(src, label, dst)
+}
+
+// UpdateResult reports what one ApplyUpdates batch did: the new graph
+// epoch, the effective edge changes, and the carried/patched/dropped
+// fate of every cached structure and relation.
+type UpdateResult = core.UpdateResult
+
 // SharedCache holds the shared closure structures (the paper's RTCs and
-// full closures). Sub-query result sets are deliberately *not* in it —
-// they can be O(|V|²), so they memoise per engine and die with it; only
-// the compact closure structures persist process-wide. One cache may
-// back any number of engines over the same graph and options; it is
-// safe for concurrent use and deduplicates concurrent computations of
-// the same sub-query. See DESIGN.md for the concurrency model.
+// full closures) in one region and the sealed columnar sub-query and
+// result relations in a second, budget-bounded region. Every entry is
+// tagged with the graph epoch it was computed at; Engine.ApplyUpdates
+// advances the epoch, and the access rules guarantee a value is never
+// served across epochs. One cache may back any number of engines over
+// the same graph and options; it is safe for concurrent use and
+// deduplicates concurrent computations of the same sub-query. See
+// DESIGN.md §5 for the concurrency model and §9 for epochs.
 type SharedCache = core.SharedCache
 
 // CacheCounters is a snapshot of a SharedCache's hit/miss counters.

@@ -253,3 +253,63 @@ func TestPublicSharedCacheAcrossEngines(t *testing.T) {
 		t.Errorf("forked engine stats = %+v, want 1 hit", st)
 	}
 }
+
+func TestPublicApplyUpdates(t *testing.T) {
+	g := fig1(t)
+	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+	before, err := engine.EvaluateQuery("d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := engine.ApplyUpdates([]rtcshare.GraphUpdate{
+		rtcshare.InsertEdge(0, "d", 4),
+		rtcshare.DeleteEdge(7, "d", 4),
+		rtcshare.InsertEdge(3, "g", 7), // brand-new label
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Deleted != 1 || res.Epoch == 0 {
+		t.Fatalf("update result = %+v", res)
+	}
+	if engine.Epoch() != res.Epoch {
+		t.Fatalf("engine epoch %d, result epoch %d", engine.Epoch(), res.Epoch)
+	}
+
+	after, err := engine.EvaluateQuery("d.(b.c)+.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The d-anchored paths moved from source 7 to source 0.
+	if after.Len() != before.Len() {
+		t.Fatalf("result size changed: %d → %d", before.Len(), after.Len())
+	}
+	if !after.Contains(0, 5) || after.Contains(7, 5) {
+		t.Fatalf("updated results wrong: %v", after)
+	}
+	if res, err := engine.EvaluateQuery("b.g"); err != nil || res.Len() != 1 {
+		t.Fatalf("new-label query = %v, %v", res, err)
+	}
+}
+
+func TestPublicMutableGraph(t *testing.T) {
+	m := rtcshare.NewMutableGraph(4)
+	if _, err := m.InsertEdge(0, "follows", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InsertEdge(1, "follows", 2); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := m.DeleteEdge(0, "follows", 1); err != nil || !removed {
+		t.Fatalf("delete: %v %v", removed, err)
+	}
+	g := m.Freeze()
+	if g.NumEdges() != 1 {
+		t.Fatalf("frozen edges = %d, want 1", g.NumEdges())
+	}
+	m2 := rtcshare.MutableFromGraph(g)
+	if m2.NumEdges() != 1 {
+		t.Fatalf("round-trip edges = %d, want 1", m2.NumEdges())
+	}
+}
