@@ -6,6 +6,7 @@
 //	rpqbench -experiment planner           # cost-based vs rightmost planner
 //	rpqbench -experiment layout            # map-set vs columnar, bfs vs bitset
 //	rpqbench -experiment updates           # incremental maintenance vs rebuild
+//	rpqbench -experiment serve             # HTTP batch coalescing on vs off
 //	rpqbench -experiment all               # everything (minutes)
 //	rpqbench -experiment all -paper        # the paper's full protocol (hours)
 //	rpqbench -experiment planner -json out.json   # structured report
@@ -13,7 +14,8 @@
 //
 // Scale knobs (-scale, -sets, -rpqs, …) trade fidelity for time; the
 // default configuration reproduces every trend in minutes on a laptop.
-// See EXPERIMENTS.md for the recorded outputs.
+// The committed BENCH_*.json files record the baselines; DESIGN.md
+// discusses each experiment's findings.
 //
 // -json writes a structured report (experiment id, config, per-row wall
 // times, B/op and allocs/op, shared-structure sizes, plan choices) for
@@ -51,7 +53,8 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "override the dataset/workload seed")
 		verify     = fs.Bool("verify", false, "cross-check result counts across strategies")
 		workers    = fs.Int("workers", 0, "override the largest worker fan-out of the parallel sweep (fig16)")
-		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, fig16)")
+		clients    = fs.Int("clients", 0, "override the closed-loop client count of the serve experiment")
+		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, serve, fig16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +92,9 @@ func run(args []string) error {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
 	cfg.Verify = cfg.Verify || *verify
 
 	if *experiment == "all" {
@@ -106,7 +112,7 @@ func run(args []string) error {
 		return e.Run(os.Stdout, cfg)
 	}
 	if e.JSON == nil {
-		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates and fig16", e.ID)
+		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates, serve and fig16", e.ID)
 	}
 	report, err := e.JSON(os.Stdout, cfg)
 	if err != nil {

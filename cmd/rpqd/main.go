@@ -1,0 +1,133 @@
+// Command rpqd serves regular path queries over HTTP, coalescing
+// concurrent requests into shared evaluation batches.
+//
+// Usage:
+//
+//	rpqd -graph g.txt                       # serve g.txt on :8080
+//	rpqd -demo                              # serve the paper's Fig. 1 graph
+//	rpqd -graph g.txt -addr :9090 -window 2ms -max-batch 64
+//	rpqd -graph g.txt -no-coalesce          # per-request evaluation baseline
+//
+// Endpoints:
+//
+//	POST /query    {"query":"d·(b·c)+·c","limit":100,"offset":0}
+//	GET  /query?q=…&limit=…&offset=…        # same, for curl convenience
+//	POST /update   {"updates":[{"op":"insert","src":1,"label":"a","dst":2}]}
+//	GET  /explain?q=…                       # the plan, without executing
+//	GET  /healthz                           # liveness + current epoch
+//	GET  /metrics                           # cache/coalescing/epoch counters
+//
+// Concurrent /query requests landing within one coalescing window
+// (-window, default 2ms, sealed early at -max-batch distinct queries)
+// are deduplicated and evaluated as one engine batch, so they share
+// closure structures and describe one graph epoch; /update advances the
+// epoch without ever mixing versions inside a batch. SIGINT/SIGTERM
+// shut down gracefully: in-flight requests and the pending window
+// finish first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtcshare"
+	"rtcshare/internal/fixtures"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rpqd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		graphPath   = fs.String("graph", "", "path to the graph file (text edge-list format)")
+		demo        = fs.Bool("demo", false, "serve the paper's Fig. 1 example graph instead of -graph")
+		strategy    = fs.String("strategy", "rtc", "evaluation strategy: rtc, full or no")
+		planner     = fs.String("planner", "heuristic", "clause planner: heuristic or cost")
+		window      = fs.Duration("window", 2*time.Millisecond, "coalescing window")
+		maxBatch    = fs.Int("max-batch", 64, "seal a batch at this many distinct queries")
+		workers     = fs.Int("workers", 0, "batch evaluation fan-out (0 = GOMAXPROCS)")
+		maxInFlight = fs.Int("max-inflight", 1, "batches evaluating concurrently")
+		maxQueued   = fs.Int("max-queued", 8, "sealed batches awaiting a slot before 503")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		noCoalesce  = fs.Bool("no-coalesce", false, "evaluate each request immediately (baseline)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g   *rtcshare.Graph
+		err error
+	)
+	switch {
+	case *demo:
+		g = fixtures.Figure1()
+	case *graphPath != "":
+		f, ferr := os.Open(*graphPath)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = rtcshare.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-graph is required (or -demo)")
+	}
+
+	var strat rtcshare.Strategy
+	switch *strategy {
+	case "rtc":
+		strat = rtcshare.RTCSharing
+	case "full":
+		strat = rtcshare.FullSharing
+	case "no":
+		strat = rtcshare.NoSharing
+	default:
+		return fmt.Errorf("unknown strategy %q (want rtc, full or no)", *strategy)
+	}
+	var mode rtcshare.PlannerMode
+	switch *planner {
+	case "heuristic":
+		mode = rtcshare.PlannerHeuristic
+	case "cost":
+		mode = rtcshare.PlannerCostBased
+	default:
+		return fmt.Errorf("unknown planner %q (want heuristic or cost)", *planner)
+	}
+
+	engine := rtcshare.NewEngine(g, rtcshare.Options{Strategy: strat, Planner: mode})
+	opts := rtcshare.ServerOptions{
+		Window:            *window,
+		MaxBatch:          *maxBatch,
+		Workers:           *workers,
+		MaxInFlight:       *maxInFlight,
+		MaxQueuedBatches:  *maxQueued,
+		RequestTimeout:    *timeout,
+		DisableCoalescing: *noCoalesce,
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rpqd: graph %s\n", g.Stats())
+	fmt.Fprintf(out, "rpqd: serving on http://%s (window %v, max-batch %d)\n", l.Addr(), *window, *maxBatch)
+	return rtcshare.ServeListener(ctx, l, engine, opts)
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                  // no graph
+		{"-graph", "/does/not/exist"},       // unreadable graph
+		{"-demo", "-strategy", "bogus"},     // bad strategy
+		{"-demo", "-planner", "bogus"},      // bad planner
+		{"-demo", "-addr", "not-an-addr:x"}, // unbindable address
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestRunServesAndShutsDown boots rpqd on an ephemeral port against a
+// real graph file, queries it over HTTP, then cancels the context and
+// expects a clean exit.
+func TestRunServesAndShutsDown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	graphText := "%vertices 4\n0 a 1\n1 a 2\n2 a 0\n2 b 3\n"
+	if err := os.WriteFile(path, []byte(graphText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-graph", path, "-addr", "127.0.0.1:0", "-window", "1ms"}, out)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	addrRe := regexp.MustCompile(`serving on http://([^ ]+) `)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("rpqd exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rpqd never reported its address: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"query":"a+.b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Total int        `json:"total"`
+		Pairs [][2]int32 `json:"pairs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// a+.b from the 3-cycle: every cycle vertex reaches 3.
+	if resp.StatusCode != http.StatusOK || qr.Total != 3 {
+		t.Fatalf("query: status %d, total %d (want 3): %+v", resp.StatusCode, qr.Total, qr)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("rpqd did not shut down")
+	}
+}
+
+func TestRunDemoGraph(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-demo", "-addr", "127.0.0.1:0"}, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "serving on") {
+		select {
+		case err := <-done:
+			t.Fatalf("rpqd exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("demo server never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "|V|=10") {
+		t.Fatalf("demo graph is not Fig. 1: %q", out.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

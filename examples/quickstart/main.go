@@ -1,14 +1,23 @@
 // Quickstart: the paper's running example, end to end.
 //
 // Builds the Fig. 1 graph, evaluates the query d·(b·c)+·c from Example 1,
-// and walks through the two-level graph reduction of Section III —
-// printing the intermediate artifacts the paper's Examples 3–6 show.
+// walks through the two-level graph reduction of Section III — printing
+// the intermediate artifacts the paper's Examples 3–6 show — and then
+// runs the same graph as a service: an in-process rpqd server fed a
+// coalesced multi-client batch, the serving story of DESIGN.md §10.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
 
 	"rtcshare"
 )
@@ -67,4 +76,83 @@ func main() {
 		query2, st.CacheHits, st.CacheMisses)
 	fmt.Printf("timing: shared_data=%v  pre_join=%v  remainder=%v\n",
 		st.SharedData, st.PreJoin, st.Remainder)
+
+	serveIt(g)
+}
+
+// serveIt runs the Fig. 1 graph as a service: rpqd's handler on an
+// ephemeral port, a burst of concurrent clients whose requests land in
+// one coalescing window, and the /metrics view of what was shared.
+func serveIt(g *rtcshare.Graph) {
+	fmt.Println("\nrunning it as a service (rpqd in-process):")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// The same server `rpqd -demo` runs; a 5ms window so the whole
+		// burst below lands in one batch.
+		done <- rtcshare.ServeListener(ctx, l, rtcshare.NewEngine(g, rtcshare.Options{}),
+			rtcshare.ServerOptions{Window: 5 * time.Millisecond})
+	}()
+
+	// Four "users" fire concurrently: two ask the Example 1 query, two
+	// ask other queries over the same closure (b·c)+. The coalescer
+	// dedups the repeats and evaluates the window as ONE engine batch,
+	// so all four share the RTC of R = b·c and one graph epoch.
+	queries := []string{"d·(b·c)+·c", "d·(b·c)+·c", "a·(b·c)+", "(b·c)+"}
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"query": q, "limit": 3})
+			resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				panic(err)
+			}
+			defer resp.Body.Close()
+			var qr struct {
+				Epoch uint64     `json:"epoch"`
+				Total int        `json:"total"`
+				Pairs [][2]int32 `json:"pairs"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				panic(err)
+			}
+			fmt.Printf("  client %d: %-12s epoch=%d total=%d first pairs=%v\n",
+				i, q, qr.Epoch, qr.Total, qr.Pairs)
+		}(i, q)
+	}
+	wg.Wait()
+
+	// What the window did, from the service's own metrics endpoint.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	var m struct {
+		Coalescer struct {
+			Submitted    int64 `json:"submitted"`
+			Batches      int64 `json:"batches"`
+			DedupHits    int64 `json:"dedup_hits"`
+			FastPathHits int64 `json:"fast_path_hits"`
+		} `json:"coalescer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("  coalescing: %d requests -> %d batch(es), %d dedup hit(s), %d fast-path hit(s)\n",
+		m.Coalescer.Submitted, m.Coalescer.Batches, m.Coalescer.DedupHits, m.Coalescer.FastPathHits)
+
+	cancel()
+	if err := <-done; err != nil {
+		panic(err)
+	}
+	fmt.Println("  graceful shutdown: done")
 }

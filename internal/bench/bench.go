@@ -47,6 +47,9 @@ type RunConfig struct {
 	// Workers is the largest fan-out of the parallel batch sweep
 	// (fig16); the sweep runs worker counts 1, 2, 4, … up to it.
 	Workers int
+	// Clients is the closed-loop client count of the serve experiment
+	// (0 = the default of 16).
+	Clients int
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -238,6 +241,9 @@ func checkConfig(cfg RunConfig) error {
 	}
 	if cfg.Workers < 0 || cfg.Workers > 256 {
 		return fmt.Errorf("bench: Workers %d out of range (0..256)", cfg.Workers)
+	}
+	if cfg.Clients < 0 || cfg.Clients > 256 {
+		return fmt.Errorf("bench: Clients %d out of range (0..256)", cfg.Clients)
 	}
 	return nil
 }

@@ -49,6 +49,7 @@ func Experiments() []Experiment {
 		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
 		{ID: "layout", Title: "Layout (beyond the paper): map-set vs columnar, bfs vs bitset closures", Run: runLayout, JSON: jsonLayout},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
+		{ID: "serve", Title: "Serve (beyond the paper): closed-loop HTTP, batch coalescing on vs off", Run: runServe, JSON: jsonServe},
 		{ID: "updates", Title: "Updates (beyond the paper): incremental maintenance vs rebuild-from-scratch", Run: runUpdates, JSON: jsonUpdates},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
@@ -119,6 +120,20 @@ func runPlanner(w io.Writer, cfg RunConfig) error {
 func runUpdates(w io.Writer, cfg RunConfig) error {
 	_, err := jsonUpdates(w, cfg)
 	return err
+}
+
+func runServe(w io.Writer, cfg RunConfig) error {
+	_, err := jsonServe(w, cfg)
+	return err
+}
+
+func jsonServe(w io.Writer, cfg RunConfig) (any, error) {
+	ss, err := RunServeExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss.RenderServe(w)
+	return ss, nil
 }
 
 func jsonUpdates(w io.Writer, cfg RunConfig) (any, error) {

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeExperimentSmoke runs the serve experiment at a tiny scale:
+// every row must pass its built-in gates (identity with serial
+// evaluation, zero cross-epoch hits — violations are returned as
+// errors, not rows) and carry sane measurements.
+func TestServeExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop HTTP experiment skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 3
+	cfg.NumSets = 1
+	cfg.NumRPQs = 2
+	cfg.Clients = 4
+
+	ss, err := RunServeExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered strings.Builder
+	ss.RenderServe(&rendered)
+	if !strings.Contains(rendered.String(), "Serve experiment") {
+		t.Fatalf("RenderServe produced no header: %q", rendered.String())
+	}
+	if len(ss.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 families × 2 cache modes), got %d", len(ss.Rows))
+	}
+	for _, r := range ss.Rows {
+		if !r.Identical {
+			t.Errorf("%s/%s/%s: HTTP results differ from serial evaluation", r.Dataset, r.Family, r.Cache)
+		}
+		if r.CrossEpochHits != 0 {
+			t.Errorf("%s/%s/%s: %d cross-epoch hits", r.Dataset, r.Family, r.Cache, r.CrossEpochHits)
+		}
+		if r.CoalesceQPS <= 0 || r.DirectQPS <= 0 || r.Requests != 4*servePerClient {
+			t.Errorf("%s/%s/%s: implausible measurement %+v", r.Dataset, r.Family, r.Cache, r)
+		}
+		if r.Batches <= 0 {
+			t.Errorf("%s/%s/%s: no batches recorded", r.Dataset, r.Family, r.Cache)
+		}
+	}
+}
+
+// TestServeRegistry covers the registry wiring: the serve experiment is
+// listed, and its Run/JSON adapters execute at tiny scale.
+func TestServeRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop HTTP experiment skipped in -short")
+	}
+	e, ok := Lookup("serve")
+	if !ok || e.JSON == nil {
+		t.Fatal("serve experiment not registered with a JSON report")
+	}
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 1
+	cfg.NumSets = 1
+	cfg.NumRPQs = 2
+	cfg.Clients = 2
+	var out strings.Builder
+	report, err := e.JSON(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*ServeSweep); !ok {
+		t.Fatalf("serve JSON report has type %T", report)
+	}
+	if err := e.Run(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -460,11 +460,56 @@ func (e *Engine) Evaluate(q rpq.Expr) (*pairs.Set, error) {
 // probe with Contains). On LayoutMapSet engines the map pipeline runs
 // and its set is sealed once at the end.
 func (e *Engine) EvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
+	rel, _, err := e.EvaluateRelEpoch(q)
+	return rel, err
+}
+
+// EvaluateRelEpoch is EvaluateRel plus the graph epoch the evaluation
+// was pinned to — the single-query form of the query service's demux
+// hooks: a server stamps each response with the epoch so clients can
+// tell when two pages of one result straddled an update.
+func (e *Engine) EvaluateRelEpoch(q rpq.Expr) (*pairs.Relation, uint64, error) {
 	e.mu.Lock()
 	e.stats.Queries++
 	e.mu.Unlock()
 	v := e.version()
-	if e.opts.Layout == LayoutMapSet {
+	rel, err := v.evaluateRel(q)
+	return rel, v.epoch, err
+}
+
+// CachedResult returns the memoised top-level result of q at the
+// engine's current graph epoch, if the columnar result cache holds a
+// completed one — the query service's non-blocking fast path: a hit
+// answers a request instantly, without entering the batch coalescer's
+// window. A miss reports false without computing anything. Non-caching
+// engines (NoSharing, DisableCache) and LayoutMapSet engines always
+// miss.
+func (e *Engine) CachedResult(q rpq.Expr) (*pairs.Relation, uint64, bool) {
+	v := e.version()
+	if e.opts.Layout == LayoutMapSet || !v.shouldCache() {
+		return nil, 0, false
+	}
+	key := q.String()
+	v.subMu.Lock()
+	rel, ok := v.subRels[key]
+	v.subMu.Unlock()
+	if !ok {
+		val, found := e.cache.LookupRelation(v.epoch, key)
+		if !found {
+			return nil, 0, false
+		}
+		rel = val.(*pairs.Relation)
+	}
+	e.mu.Lock()
+	e.stats.Queries++
+	e.mu.Unlock()
+	return rel, v.epoch, true
+}
+
+// evaluateRel runs the EvaluateRel pipeline entirely against this
+// pinned version.
+func (v *engineVersion) evaluateRel(q rpq.Expr) (*pairs.Relation, error) {
+	if v.opts.Layout == LayoutMapSet {
 		set, err := v.evaluatePlannedMap(q, nil)
 		if err != nil {
 			return nil, err

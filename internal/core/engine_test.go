@@ -399,3 +399,44 @@ func TestEnginesAgreeOnBatchUnits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCachedResultFastPath(t *testing.T) {
+	g := fixtures.Figure1()
+	q := rpq.MustParse("d·(b·c)+·c")
+
+	e := New(g, Options{})
+	if _, _, ok := e.CachedResult(q); ok {
+		t.Fatal("cold engine reported a cached result")
+	}
+	want, err := e.EvaluateRel(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, epoch, ok := e.CachedResult(q)
+	if !ok || rel != want || epoch != e.Epoch() {
+		t.Fatalf("warm CachedResult: ok=%v epoch=%d", ok, epoch)
+	}
+
+	// An update touching the query's labels invalidates the memo.
+	if _, err := e.ApplyUpdates([]GraphUpdate{InsertEdge(0, "b", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := e.CachedResult(q); ok {
+		t.Fatal("stale epoch served from CachedResult")
+	}
+
+	// Non-caching configurations always miss, even warm.
+	for _, opts := range []Options{
+		{DisableCache: true},
+		{Strategy: NoSharing},
+		{Layout: LayoutMapSet},
+	} {
+		ne := New(g, opts)
+		if _, err := ne.EvaluateRel(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := ne.CachedResult(q); ok {
+			t.Fatalf("options %+v reported a cached result", opts)
+		}
+	}
+}

@@ -36,9 +36,31 @@ import (
 // single graph epoch (the -race update stress test asserts exactly
 // this).
 func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set, error) {
+	results, _, err := evalBatchPinned(e, qs, workers, (*Engine).Evaluate)
+	return results, err
+}
+
+// EvaluateBatchParallelRel is EvaluateBatchParallel in the executor's
+// native sealed form, additionally returning the graph epoch the whole
+// batch was pinned to. This is the batch demux hook of the query
+// service's coalescer: the server evaluates one deduplicated batch,
+// fans the sealed relations back out to the waiting requests, and
+// stamps every response with the one epoch the batch guarantee already
+// provides — all results of one call describe a single graph version.
+func (e *Engine) EvaluateBatchParallelRel(qs []rpq.Expr, workers int) ([]*pairs.Relation, uint64, error) {
+	return evalBatchPinned(e, qs, workers, (*Engine).EvaluateRel)
+}
+
+// evalBatchPinned is the shared skeleton of the parallel batch
+// evaluators: pin one graph version, fan the queries over forked
+// workers (each fork pinned to that version), fold the workers' Stats
+// back into the receiver, and return the results in input order plus
+// the pinned epoch.
+func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, eval func(*Engine, rpq.Expr) (T, error)) ([]T, uint64, error) {
 	n := len(qs)
+	pinned := e.version()
 	if n == 0 {
-		return nil, nil
+		return nil, pinned.epoch, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,15 +70,22 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 	}
 	if workers <= 1 {
 		// Serial fallback, still pinned to one version via a fork.
-		worker := e.forkVersion(e.version())
-		out, err := worker.EvaluateSet(qs)
+		worker := e.forkVersion(pinned)
+		out := make([]T, n)
+		for i, q := range qs {
+			res, err := eval(worker, q)
+			if err != nil {
+				e.absorb(worker)
+				return nil, pinned.epoch, err
+			}
+			out[i] = res
+		}
 		e.absorb(worker)
-		return out, err
+		return out, pinned.epoch, nil
 	}
 
 	var (
-		pinned  = e.version()
-		results = make([]*pairs.Set, n)
+		results = make([]T, n)
 		errs    = make([]error, workers)
 		engines = make([]*Engine, workers)
 		next    atomic.Int64
@@ -73,7 +102,7 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 				if i >= n || aborted.Load() {
 					return
 				}
-				res, err := worker.Evaluate(qs[i])
+				res, err := eval(worker, qs[i])
 				if err != nil {
 					errs[w] = err
 					aborted.Store(true)
@@ -90,10 +119,10 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, pinned.epoch, err
 		}
 	}
-	return results, nil
+	return results, pinned.epoch, nil
 }
 
 // EvaluateQueriesParallel parses a query batch and evaluates it with

@@ -7,6 +7,7 @@ import (
 
 	"rtcshare/internal/datagen"
 	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/workload"
 )
@@ -326,5 +327,85 @@ func TestCacheHoldsOnlyStructures(t *testing.T) {
 	}
 	if got := e.Cache().Counters().RelHits; got <= relHits {
 		t.Errorf("RelHits = %d, want > %d (fork served from the relation region)", got, relHits)
+	}
+}
+
+// TestEvaluateBatchParallelRelMatchesSerial: the sealed-relation batch
+// hook must return, pair for pair, what serial EvaluateRel returns, in
+// input order, stamped with the engine's (unchanged) epoch.
+func TestEvaluateBatchParallelRelMatchesSerial(t *testing.T) {
+	g := stressGraph(t, 23)
+	batch, _ := stressBatch(t, 29, 4, 6)
+
+	serial := New(g, Options{})
+	want := make([]*pairs.Relation, len(batch))
+	for i, q := range batch {
+		rel, err := serial.EvaluateRel(q)
+		if err != nil {
+			t.Fatalf("serial EvaluateRel: %v", err)
+		}
+		want[i] = rel
+	}
+
+	for _, workers := range []int{1, 4} {
+		e := New(g, Options{})
+		got, epoch, err := e.EvaluateBatchParallelRel(batch, workers)
+		if err != nil {
+			t.Fatalf("EvaluateBatchParallelRel(workers=%d): %v", workers, err)
+		}
+		if epoch != e.Epoch() {
+			t.Fatalf("workers=%d: batch epoch %d, engine epoch %d", workers, epoch, e.Epoch())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: query %d (%s) differs from serial", workers, i, batch[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateRelEpoch: the stamped epoch must track ApplyUpdates.
+func TestEvaluateRelEpoch(t *testing.T) {
+	g := stressGraph(t, 31)
+	e := New(g, Options{})
+	q := rpq.MustParse("l0+")
+
+	rel0, epoch0, err := e.EvaluateRelEpoch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch0 != e.Epoch() {
+		t.Fatalf("epoch %d, engine %d", epoch0, e.Epoch())
+	}
+	if _, err := e.ApplyUpdates([]GraphUpdate{InsertEdge(0, "l0", 1), InsertEdge(1, "l0", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	rel1, epoch1, err := e.EvaluateRelEpoch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch1 <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, epoch1)
+	}
+	if !rel1.Contains(0, 2) {
+		t.Fatalf("updated closure missing inserted path")
+	}
+	_ = rel0
+}
+
+// TestEvaluateBatchParallelRelError: parse-time-valid but failing
+// queries (DNF bound) abort the batch with the error.
+func TestEvaluateBatchParallelRelError(t *testing.T) {
+	g := stressGraph(t, 37)
+	e := New(g, Options{MaxDNFClauses: 1})
+	qs := []rpq.Expr{rpq.MustParse("l0+"), rpq.MustParse("(l0|l1).(l2|l3)")}
+	if _, _, err := e.EvaluateBatchParallelRel(qs, 2); err == nil {
+		t.Fatal("expected DNF-bound error")
+	}
+	if out, _, err := e.EvaluateBatchParallelRel(nil, 2); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
 	}
 }

@@ -317,6 +317,30 @@ func (c *SharedCache) Lookup(epoch uint64, key string) (any, bool) {
 	}
 }
 
+// LookupRelation is Lookup against the relation region: the completed
+// sealed relation for key at the caller's epoch, never blocking and
+// never computing. The query service's fast path uses it to answer a
+// request from the memoised result without entering the coalescing
+// window.
+func (c *SharedCache) LookupRelation(epoch uint64, key string) (any, bool) {
+	s := c.relShard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok || e.epoch != epoch {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil || !e.retained {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false
+	}
+}
+
 // CacheRegion names the two cache regions for AdvanceEpoch's migration
 // callback.
 type CacheRegion int
@@ -476,23 +500,25 @@ func (c *SharedCache) Reset() {
 // of distinct structures actually computed — the "each R computed
 // exactly once" invariant the concurrency tests assert.
 type CacheCounters struct {
-	Hits, Misses int64
-	Entries      int
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
 
 	// RelHits/RelMisses/RelEntries are the same counters for the
 	// relation region: sealed sub-query relations the columnar layout
 	// memoises. RelMisses equals the number of distinct sub-queries
 	// actually evaluated and sealed.
-	RelHits, RelMisses int64
-	RelEntries         int
+	RelHits    int64 `json:"rel_hits"`
+	RelMisses  int64 `json:"rel_misses"`
+	RelEntries int   `json:"rel_entries"`
 
 	// Epoch is the cache's current graph epoch. CrossEpochHits counts
 	// values served across epochs — the access rules make it impossible,
 	// and the update stress tests assert it stays 0. StaleEvictions
 	// counts old-epoch entries lazily evicted by newer readers.
-	Epoch          uint64
-	CrossEpochHits int64
-	StaleEvictions int64
+	Epoch          uint64 `json:"epoch"`
+	CrossEpochHits int64  `json:"cross_epoch_hits"`
+	StaleEvictions int64  `json:"stale_evictions"`
 }
 
 // Counters returns a snapshot of the cache's hit/miss counters.

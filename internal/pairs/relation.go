@@ -2,6 +2,7 @@ package pairs
 
 import (
 	"slices"
+	"sort"
 	"sync"
 
 	"rtcshare/internal/graph"
@@ -135,6 +136,40 @@ func (r *Relation) Dsts() []graph.VID {
 // modified; the edge-level reduction builds G_R directly from them.
 func (r *Relation) CSR() (offsets []int32, dsts []graph.VID) {
 	return r.srcOffsets, r.dsts
+}
+
+// Page returns the pairs at positions [offset, offset+limit) of the
+// relation's global (src, dst) order — the paging primitive of the
+// query service. A limit <= 0 means "through the end"; an offset at or
+// past the end returns an empty page. Cost is O(log |V|) to locate the
+// starting run plus O(len(page)) to copy it, so paging a huge sealed
+// result never touches the pairs outside the page.
+func (r *Relation) Page(offset, limit int) []Pair {
+	n := r.Len()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= n {
+		return nil
+	}
+	end := n
+	// Compare by subtraction from the bounded side: offset+limit would
+	// overflow for huge limits.
+	if limit > 0 && limit < n-offset {
+		end = offset + limit
+	}
+	// The first run overlapping the page: the smallest v whose run ends
+	// past offset.
+	v := sort.Search(r.numVertices, func(v int) bool { return int(r.srcOffsets[v+1]) > offset })
+	out := make([]Pair, 0, end-offset)
+	pos := offset
+	for ; v < r.numVertices && pos < end; v++ {
+		runEnd := int(r.srcOffsets[v+1])
+		for ; pos < runEnd && pos < end; pos++ {
+			out = append(out, Pair{graph.VID(v), r.dsts[pos]})
+		}
+	}
+	return out
 }
 
 // Sorted returns the pairs in (src, dst) order.

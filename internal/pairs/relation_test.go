@@ -1,6 +1,7 @@
 package pairs
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -218,5 +219,68 @@ func TestEmptyRelation(t *testing.T) {
 	zero := NewBuilder(0).Seal()
 	if zero.Len() != 0 {
 		t.Fatal("zero-vertex relation not empty")
+	}
+}
+
+// Property: Page(offset, limit) is exactly the corresponding slice of
+// Sorted(), for any offset/limit including the degenerate ones.
+func TestRelationPage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		b := NewBuilder(n)
+		for _, p := range randomPairs(rng, n, rng.Intn(120)) {
+			b.AddPair(p)
+		}
+		rel := b.Seal()
+		sorted := rel.Sorted()
+
+		offsets := []int{0, 1, len(sorted) / 2, len(sorted) - 1, len(sorted), len(sorted) + 3, -2}
+		limits := []int{0, -1, 1, 2, len(sorted) / 3, len(sorted), len(sorted) + 5}
+		for _, off := range offsets {
+			for _, lim := range limits {
+				got := rel.Page(off, lim)
+				start := max(off, 0)
+				if start > len(sorted) {
+					start = len(sorted)
+				}
+				end := len(sorted)
+				if lim > 0 && start+lim < end {
+					end = start + lim
+				}
+				want := sorted[start:end]
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationPageEmpty(t *testing.T) {
+	rel := NewBuilder(0).Seal()
+	if got := rel.Page(0, 10); len(got) != 0 {
+		t.Fatalf("empty relation paged %d pairs", len(got))
+	}
+}
+
+func TestRelationPageHugeLimit(t *testing.T) {
+	rel := RelationFromPairs(4, Pair{Src: 0, Dst: 1}, Pair{Src: 1, Dst: 2}, Pair{Src: 3, Dst: 0})
+	// offset+limit must not overflow into a negative slice capacity.
+	got := rel.Page(1, math.MaxInt)
+	if len(got) != 2 || got[0] != (Pair{Src: 1, Dst: 2}) || got[1] != (Pair{Src: 3, Dst: 0}) {
+		t.Fatalf("Page(1, MaxInt) = %v", got)
+	}
+	if got := rel.Page(math.MaxInt, math.MaxInt); len(got) != 0 {
+		t.Fatalf("Page(MaxInt, MaxInt) = %v", got)
 	}
 }

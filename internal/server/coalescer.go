@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+)
+
+// Sentinel errors of the admission path. Handlers map them to HTTP 503.
+var (
+	// ErrShuttingDown rejects queries submitted after Close.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrOverloaded rejects a batch when every evaluation slot is busy
+	// and the sealed-batch queue is full — the admission-control
+	// backstop that keeps an overload from growing an unbounded queue.
+	ErrOverloaded = errors.New("server: overloaded, retry later")
+)
+
+// result is what the demux hands one waiter: the sealed relation, the
+// graph epoch the evaluation was pinned to, or the batch's error.
+type result struct {
+	rel   *pairs.Relation
+	epoch uint64
+	err   error
+}
+
+// waiter receives exactly one result; buffered so the demux never
+// blocks on a waiter that timed out and walked away.
+type waiter chan result
+
+// pendingQuery is one distinct query of a forming batch with every
+// request waiting on it — the dedup unit: any number of concurrent
+// clients asking the same query string ride one evaluation.
+type pendingQuery struct {
+	expr    rpq.Expr
+	waiters []waiter
+}
+
+// batch is one coalescing window's worth of queries. It is born when
+// the first query of a window arrives, accumulates (deduplicated)
+// queries until the window timer fires or the distinct-size cap is
+// reached, and is then sealed — immutable, handed to a dispatcher for
+// one EvaluateBatchParallelRel call, and demultiplexed back to its
+// waiters.
+type batch struct {
+	queries []*pendingQuery
+	index   map[string]int
+	timer   *time.Timer
+	sealed  bool
+}
+
+// sealReason tags why a batch left the window, for CoalescerStats.
+type sealReason int
+
+const (
+	sealWindow sealReason = iota // the window timer expired
+	sealSize                     // the distinct-query cap was reached
+	sealFlush                    // Close flushed the pending batch
+)
+
+// coalescer implements the serving tentpole: concurrent POST /query
+// requests are admitted into a bounded time/size window, deduplicated
+// by query string, evaluated as ONE engine batch so unrelated clients
+// share closure structures (and the whole batch is pinned to a single
+// graph epoch), then demultiplexed back to their waiters.
+type coalescer struct {
+	engine *core.Engine
+	opts   Options
+
+	mu          sync.Mutex
+	pending     *batch
+	queueClosed bool
+	closed      bool
+	queue       chan *batch
+
+	// closedFlag mirrors closed for the lock-free admission paths
+	// (fast path, DisableCoalescing), so Close's "new queries get 503"
+	// contract holds on every path, not just the window.
+	closedFlag atomic.Bool
+
+	wg sync.WaitGroup
+
+	// Counters behind CoalescerStats, all atomic.
+	submitted, direct, dedupHits         atomic.Int64
+	fastPathHits                         atomic.Int64
+	batches, batchQueries, batchDistinct atomic.Int64
+	maxBatchDistinct                     atomic.Int64
+	sealedByWindow, sealedBySize         atomic.Int64
+	sealedByFlush                        atomic.Int64
+	rejected, evalErrors, abandoned      atomic.Int64
+}
+
+// newCoalescer starts the dispatcher pool: opts.MaxInFlight goroutines
+// each evaluating one sealed batch at a time.
+func newCoalescer(engine *core.Engine, opts Options) *coalescer {
+	c := &coalescer{
+		engine: engine,
+		opts:   opts,
+		queue:  make(chan *batch, opts.MaxQueuedBatches),
+	}
+	for i := 0; i < opts.MaxInFlight; i++ {
+		c.wg.Add(1)
+		go c.dispatch()
+	}
+	return c
+}
+
+// submit admits one parsed query and blocks until its batch's result is
+// demultiplexed back, the context expires, or admission fails. key must
+// be the query string the request carried — it is the dedup identity.
+func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) result {
+	c.submitted.Add(1)
+	if c.closedFlag.Load() {
+		c.rejected.Add(1)
+		return result{err: ErrShuttingDown}
+	}
+	if c.opts.DisableCoalescing {
+		// The coalescing-off baseline: evaluate on the shared engine
+		// immediately, one evaluation per request. Concurrent identical
+		// requests may still deduplicate inside the engine's cache; the
+		// batch-level guarantees (one epoch per window, window dedup)
+		// are gone, which is exactly what the serve experiment measures.
+		c.direct.Add(1)
+		rel, epoch, err := c.engine.EvaluateRelEpoch(expr)
+		return result{rel: rel, epoch: epoch, err: err}
+	}
+
+	// Fast path: a result already memoised at the current epoch answers
+	// immediately — the window only ever forms around work that must
+	// actually be computed, so warm repeat traffic pays no coalescing
+	// latency at all.
+	if rel, epoch, ok := c.engine.CachedResult(expr); ok {
+		c.fastPathHits.Add(1)
+		return result{rel: rel, epoch: epoch}
+	}
+
+	w := make(waiter, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		return result{err: ErrShuttingDown}
+	}
+	b := c.pending
+	if b == nil {
+		b = &batch{index: make(map[string]int)}
+		b.timer = time.AfterFunc(c.opts.Window, func() { c.seal(b, sealWindow) })
+		c.pending = b
+	}
+	if i, ok := b.index[key]; ok {
+		c.dedupHits.Add(1)
+		b.queries[i].waiters = append(b.queries[i].waiters, w)
+	} else {
+		b.index[key] = len(b.queries)
+		b.queries = append(b.queries, &pendingQuery{expr: expr, waiters: []waiter{w}})
+	}
+	full := len(b.queries) >= c.opts.MaxBatch
+	c.mu.Unlock()
+	if full {
+		c.seal(b, sealSize)
+	}
+
+	select {
+	case r := <-w:
+		return r
+	case <-ctx.Done():
+		// The per-request timeout: the waiter walks away; the batch
+		// still evaluates (its result may serve the other waiters and
+		// warms the cache), the buffered channel absorbs the late send.
+		c.abandoned.Add(1)
+		return result{err: ctx.Err()}
+	}
+}
+
+// seal detaches b from the window and hands it to the dispatcher pool.
+// Safe against the timer and the size path racing: only the first
+// caller for a given batch proceeds.
+func (c *coalescer) seal(b *batch, reason sealReason) {
+	c.mu.Lock()
+	if b.sealed || c.pending != b {
+		c.mu.Unlock()
+		return
+	}
+	b.sealed = true
+	c.pending = nil
+	b.timer.Stop()
+	switch reason {
+	case sealWindow:
+		c.sealedByWindow.Add(1)
+	case sealSize:
+		c.sealedBySize.Add(1)
+	case sealFlush:
+		c.sealedByFlush.Add(1)
+	}
+	if c.queueClosed {
+		c.mu.Unlock()
+		c.rejected.Add(int64(len(b.queries)))
+		demux(b, nil, 0, ErrShuttingDown)
+		return
+	}
+	// Admission control: a full queue rejects the batch instead of
+	// growing an unbounded backlog. The send stays under mu so Close's
+	// queueClosed flip strictly orders with it.
+	select {
+	case c.queue <- b:
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		c.rejected.Add(int64(len(b.queries)))
+		demux(b, nil, 0, ErrOverloaded)
+	}
+}
+
+// dispatch is one evaluation slot: batches evaluate one at a time per
+// slot, opts.MaxInFlight slots in parallel.
+func (c *coalescer) dispatch() {
+	defer c.wg.Done()
+	for b := range c.queue {
+		c.evaluate(b)
+	}
+}
+
+// evaluate runs one sealed batch through the engine and demultiplexes
+// the sealed relations back to the waiters. The whole batch is pinned
+// to one graph epoch by EvaluateBatchParallelRel, so every response of
+// one window describes a single graph version even when /update lands
+// mid-batch.
+func (c *coalescer) evaluate(b *batch) {
+	exprs := make([]rpq.Expr, len(b.queries))
+	waiters := 0
+	for i, pq := range b.queries {
+		exprs[i] = pq.expr
+		waiters += len(pq.waiters)
+	}
+	rels, epoch, err := c.engine.EvaluateBatchParallelRel(exprs, c.opts.Workers)
+	c.batches.Add(1)
+	c.batchQueries.Add(int64(waiters))
+	c.batchDistinct.Add(int64(len(exprs)))
+	for {
+		cur := c.maxBatchDistinct.Load()
+		if int64(len(exprs)) <= cur || c.maxBatchDistinct.CompareAndSwap(cur, int64(len(exprs))) {
+			break
+		}
+	}
+	if err != nil {
+		// One failing query must not fail its co-batched neighbours:
+		// the batch call aborts as a whole, so fall back to evaluating
+		// each distinct query individually and demultiplex per-query
+		// results and errors. Only the failing queries pay twice, and
+		// only on this error path. The fallback runs on one Fork, whose
+		// pinned graph version keeps the batch's single-epoch guarantee
+		// even if an update lands between the per-query evaluations.
+		c.evalErrors.Add(1)
+		worker := c.engine.Fork()
+		for _, pq := range b.queries {
+			rel, qEpoch, qErr := worker.EvaluateRelEpoch(pq.expr)
+			r := result{rel: rel, epoch: qEpoch, err: qErr}
+			for _, w := range pq.waiters {
+				w <- r
+			}
+		}
+		return
+	}
+	demux(b, rels, epoch, err)
+}
+
+// demux fans one batch outcome back to every waiter. rels is nil on
+// error, in which case every waiter receives err.
+func demux(b *batch, rels []*pairs.Relation, epoch uint64, err error) {
+	for i, pq := range b.queries {
+		r := result{epoch: epoch, err: err}
+		if err == nil {
+			r.rel = rels[i]
+		}
+		for _, w := range pq.waiters {
+			w <- r
+		}
+	}
+}
+
+// close drains the coalescer: no new admissions, the pending batch is
+// flushed and evaluated, dispatchers finish their queues and exit.
+// Every already-admitted waiter receives a result.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	c.closedFlag.Store(true)
+	b := c.pending
+	c.mu.Unlock()
+
+	if b != nil {
+		c.seal(b, sealFlush)
+	}
+
+	c.mu.Lock()
+	c.queueClosed = true
+	c.mu.Unlock()
+	close(c.queue)
+	c.wg.Wait()
+}
+
+// CoalescerStats is a snapshot of the batch coalescer's activity — the
+// /metrics view of how well concurrent traffic is landing in shared
+// batches.
+type CoalescerStats struct {
+	// Submitted counts queries admitted (including coalescing-off
+	// direct evaluations); Direct counts the ones evaluated without
+	// coalescing.
+	Submitted int64 `json:"submitted"`
+	Direct    int64 `json:"direct"`
+	// DedupHits counts admissions that joined an identical query
+	// already pending in the window — each one is an evaluation the
+	// batch did not have to run.
+	DedupHits int64 `json:"dedup_hits"`
+	// FastPathHits counts queries answered straight from the engine's
+	// epoch-tagged result memo, skipping the window entirely.
+	FastPathHits int64 `json:"fast_path_hits"`
+
+	// Batches counts evaluated batches; BatchQueries the admitted
+	// queries they carried (dedup included); BatchDistinct the distinct
+	// queries actually evaluated. BatchQueries/Batches is the mean
+	// window occupancy, BatchQueries/BatchDistinct the sharing factor.
+	Batches          int64 `json:"batches"`
+	BatchQueries     int64 `json:"batch_queries"`
+	BatchDistinct    int64 `json:"batch_distinct"`
+	MaxBatchDistinct int64 `json:"max_batch_distinct"`
+
+	// SealedByWindow/SealedBySize/SealedByFlush split Batches by what
+	// ended their window: the timer, the distinct-size cap, or Close.
+	SealedByWindow int64 `json:"sealed_by_window"`
+	SealedBySize   int64 `json:"sealed_by_size"`
+	SealedByFlush  int64 `json:"sealed_by_flush"`
+
+	// Rejected counts queries turned away by admission control;
+	// Abandoned counts waiters that hit their per-request timeout;
+	// EvalErrors counts batches whose evaluation failed.
+	Rejected   int64 `json:"rejected"`
+	Abandoned  int64 `json:"abandoned"`
+	EvalErrors int64 `json:"eval_errors"`
+}
+
+// stats snapshots the counters.
+func (c *coalescer) stats() CoalescerStats {
+	return CoalescerStats{
+		Submitted:        c.submitted.Load(),
+		Direct:           c.direct.Load(),
+		DedupHits:        c.dedupHits.Load(),
+		FastPathHits:     c.fastPathHits.Load(),
+		Batches:          c.batches.Load(),
+		BatchQueries:     c.batchQueries.Load(),
+		BatchDistinct:    c.batchDistinct.Load(),
+		MaxBatchDistinct: c.maxBatchDistinct.Load(),
+		SealedByWindow:   c.sealedByWindow.Load(),
+		SealedBySize:     c.sealedBySize.Load(),
+		SealedByFlush:    c.sealedByFlush.Load(),
+		Rejected:         c.rejected.Load(),
+		Abandoned:        c.abandoned.Load(),
+		EvalErrors:       c.evalErrors.Load(),
+	}
+}

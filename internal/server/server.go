@@ -1,0 +1,470 @@
+// Package server implements rpqd's HTTP/JSON query service over a
+// single epoch-versioned core.Engine — the serving layer that turns
+// independent client requests into the shared evaluation batches the
+// paper's RTCSharing is built for.
+//
+// The heart is the batch coalescer (coalescer.go): concurrent
+// POST /query requests are admitted into a bounded time/size window,
+// deduplicated by query string, evaluated in one
+// Engine.EvaluateBatchParallelRel call — so unrelated clients share the
+// R_G / R+ structures within a single graph epoch — and demultiplexed
+// back to their waiters, with per-request limit/offset paging over the
+// sealed columnar results. POST /update drives Engine.ApplyUpdates, so
+// in-flight batches stay epoch-consistent under concurrent ingest;
+// GET /explain plans without executing; GET /healthz and GET /metrics
+// expose liveness, the engine's cache counters and the coalescing
+// statistics. See DESIGN.md §10 for the window semantics and the
+// epoch-consistency argument.
+//
+// The package is internal; the public surface is rtcshare.NewServer,
+// rtcshare.Serve and rtcshare.ServerOptions.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+)
+
+// Options configure a Server. The zero value gets the documented
+// defaults, filled in by NewServer.
+type Options struct {
+	// Window bounds how long the first query of a batch waits for
+	// company before the batch seals. Default 2ms.
+	Window time.Duration
+	// MaxBatch seals a batch early once it holds this many DISTINCT
+	// queries (deduplicated waiters do not count). Default 64.
+	MaxBatch int
+	// Workers is the fan-out of each batch's EvaluateBatchParallelRel
+	// call. Default 0 = GOMAXPROCS.
+	Workers int
+	// MaxInFlight is the number of sealed batches evaluating
+	// concurrently — the evaluation slots of the admission control.
+	// Default 1: one batch at a time, internally parallel; while it
+	// runs, the next window accumulates.
+	MaxInFlight int
+	// MaxQueuedBatches bounds the sealed batches awaiting a slot;
+	// beyond it new batches are rejected with 503. Default 8.
+	MaxQueuedBatches int
+	// RequestTimeout bounds how long one /query request waits for its
+	// result before giving up with 503 (the evaluation itself is not
+	// interrupted — its result still serves the batch's other waiters
+	// and warms the cache). Default 30s.
+	RequestTimeout time.Duration
+	// DisableCoalescing evaluates every request immediately on the
+	// shared engine, skipping the window — the serve experiment's
+	// baseline leg.
+	DisableCoalescing bool
+}
+
+// withDefaults fills the zero fields with the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1
+	}
+	if o.MaxQueuedBatches <= 0 {
+		o.MaxQueuedBatches = 8
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server is the rpqd HTTP handler: the batch coalescer plus the
+// /query, /update, /explain, /healthz and /metrics endpoints over one
+// engine. Create one with New, serve it with net/http, and Close it to
+// drain the coalescer on shutdown.
+type Server struct {
+	engine *core.Engine
+	opts   Options
+	coal   *coalescer
+	mux    *http.ServeMux
+	start  time.Time
+
+	closeOnce sync.Once
+}
+
+// New returns a Server over engine. The engine may be shared with
+// non-HTTP users; ApplyUpdates through either side keeps both
+// epoch-consistent.
+func New(engine *core.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		engine: engine,
+		opts:   opts,
+		coal:   newCoalescer(engine, opts),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the engine the server evaluates on.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Options returns the server's effective (default-filled) options.
+func (s *Server) Options() Options { return s.opts }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the coalescer: in-flight and pending batches finish and
+// answer their waiters, new queries are rejected with 503. It does not
+// close HTTP listeners — pair it with http.Server.Shutdown, as
+// rtcshare.Serve does.
+func (s *Server) Close() error {
+	s.closeOnce.Do(s.coal.close)
+	return nil
+}
+
+// QueryRequest is the body of POST /query (or the q/limit/offset query
+// parameters of GET /query).
+type QueryRequest struct {
+	// Query is the RPQ, in the rpq concrete syntax.
+	Query string `json:"query"`
+	// Limit caps the returned pairs; 0 means all (from Offset on).
+	Limit int `json:"limit"`
+	// Offset skips that many pairs of the (src, dst)-ordered result.
+	Offset int `json:"offset"`
+}
+
+// QueryResponse is the body of a successful /query: one page of the
+// result plus the paging bookkeeping and the graph epoch the evaluation
+// was pinned to. Two responses with the same epoch describe the same
+// graph version; a client paging a result can compare epochs to detect
+// an update landing between pages.
+type QueryResponse struct {
+	Query string `json:"query"`
+	// Epoch is the graph epoch the evaluation ran at.
+	Epoch uint64 `json:"epoch"`
+	// Total is the full result size, before paging.
+	Total int `json:"total"`
+	// Offset echoes the effective offset; Count is len(Pairs).
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
+	// Pairs is the page: [start, end] vertex pairs in (src, dst) order.
+	Pairs [][2]graph.VID `json:"pairs"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBody bounds /query and /update request bodies (16 MiB —
+// room for very large update batches, far beyond any sane query), so a
+// single connection cannot stream unbounded JSON into memory.
+const maxRequestBody = 16 << 20
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"limit", &req.Limit}, {"offset", &req.Offset}} {
+			if v := q.Get(p.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", p.name, err))
+					return
+				}
+				*p.dst = n
+			}
+		}
+	} else if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		return
+	}
+	expr, err := rpq.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Offset < 0 || req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("limit and offset must be non-negative"))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	res := s.coal.submit(ctx, req.Query, expr)
+	if res.err != nil {
+		writeError(w, queryStatus(res.err), res.err)
+		return
+	}
+
+	page := res.rel.Page(req.Offset, req.Limit)
+	pairs := make([][2]graph.VID, len(page))
+	for i, p := range page {
+		pairs[i] = [2]graph.VID{p.Src, p.Dst}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Query:  req.Query,
+		Epoch:  res.epoch,
+		Total:  res.rel.Len(),
+		Offset: req.Offset,
+		Count:  len(pairs),
+		Pairs:  pairs,
+	})
+}
+
+// queryStatus maps a submit error to its HTTP status.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrOverloaded),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		// Evaluation-time query errors (e.g. the DNF bound).
+		return http.StatusBadRequest
+	}
+}
+
+// UpdateRequest is the body of POST /update: a batch of edge updates
+// applied atomically as one Engine.ApplyUpdates call (one epoch
+// advance).
+type UpdateRequest struct {
+	Updates []EdgeUpdate `json:"updates"`
+}
+
+// EdgeUpdate is one edge mutation: op "insert" or "delete".
+type EdgeUpdate struct {
+	Op    string    `json:"op"`
+	Src   graph.VID `json:"src"`
+	Label string    `json:"label"`
+	Dst   graph.VID `json:"dst"`
+}
+
+// UpdateResponse reports what the batch did — Engine.UpdateResult plus
+// the migration wall-clocks, in milliseconds.
+type UpdateResponse struct {
+	Epoch            uint64  `json:"epoch"`
+	Inserted         int     `json:"inserted"`
+	Deleted          int     `json:"deleted"`
+	Carried          int     `json:"carried"`
+	Patched          int     `json:"patched"`
+	Dropped          int     `json:"dropped"`
+	RelCarried       int     `json:"rel_carried"`
+	RelDropped       int     `json:"rel_dropped"`
+	FreezeMillis     float64 `json:"freeze_ms"`
+	MigrateMillis    float64 `json:"migrate_ms"`
+	EffectiveNoOp    bool    `json:"effective_noop"`
+	AppliedUpdateOps int     `json:"applied_update_ops"`
+	RequestedUpdates int     `json:"requested_updates"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	updates := make([]core.GraphUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		switch u.Op {
+		case "insert":
+			updates[i] = core.InsertEdge(u.Src, u.Label, u.Dst)
+		case "delete":
+			updates[i] = core.DeleteEdge(u.Src, u.Label, u.Dst)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: unknown op %q (want insert or delete)", i, u.Op))
+			return
+		}
+	}
+	res, err := s.engine.ApplyUpdates(updates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Epoch:            res.Epoch,
+		Inserted:         res.Inserted,
+		Deleted:          res.Deleted,
+		Carried:          res.Carried,
+		Patched:          res.Patched,
+		Dropped:          res.Dropped,
+		RelCarried:       res.RelCarried,
+		RelDropped:       res.RelDropped,
+		FreezeMillis:     float64(res.FreezeTime) / float64(time.Millisecond),
+		MigrateMillis:    float64(res.MigrateTime) / float64(time.Millisecond),
+		EffectiveNoOp:    res.Inserted+res.Deleted == 0,
+		AppliedUpdateOps: res.Inserted + res.Deleted,
+		RequestedUpdates: len(req.Updates),
+	})
+}
+
+// ExplainResponse is the body of GET /explain?q=…: the engine's plan
+// for the query, never executing it.
+type ExplainResponse struct {
+	Query    string          `json:"query"`
+	Strategy string          `json:"strategy"`
+	Planner  string          `json:"planner"`
+	Clauses  []ExplainClause `json:"clauses"`
+}
+
+// ExplainClause is one DNF clause of an ExplainResponse.
+type ExplainClause struct {
+	Clause       string  `json:"clause"`
+	Pre          string  `json:"pre,omitempty"`
+	R            string  `json:"r,omitempty"`
+	Type         string  `json:"type,omitempty"`
+	Post         string  `json:"post,omitempty"`
+	Kind         string  `json:"kind"`
+	Direction    string  `json:"direction,omitempty"`
+	SharedCached bool    `json:"shared_cached"`
+	EstCost      float64 `json:"est_cost"`
+	EstOutPairs  float64 `json:"est_out_pairs"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	plan, err := s.engine.ExplainQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ExplainResponse{
+		Query:    plan.Query,
+		Strategy: plan.Strategy.String(),
+		Planner:  plan.Planner.String(),
+	}
+	for _, c := range plan.Clauses {
+		resp.Clauses = append(resp.Clauses, ExplainClause{
+			Clause:       c.Clause,
+			Pre:          c.Pre,
+			R:            c.R,
+			Type:         c.Type,
+			Post:         c.Post,
+			Kind:         c.Kind,
+			Direction:    c.Direction,
+			SharedCached: c.SharedCached,
+			EstCost:      c.EstCost,
+			EstOutPairs:  c.EstOut,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status       string  `json:"status"`
+	Epoch        uint64  `json:"epoch"`
+	UptimeMillis float64 `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:       "ok",
+		Epoch:        s.engine.Epoch(),
+		UptimeMillis: float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+// GraphInfo summarises the served graph for /metrics.
+type GraphInfo struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	Labels   int `json:"labels"`
+}
+
+// TimingInfo is the engine's accumulated three-part split, in
+// milliseconds, plus its query and cache counters.
+type TimingInfo struct {
+	Queries          int     `json:"queries"`
+	SharedDataMillis float64 `json:"shared_data_ms"`
+	PreJoinMillis    float64 `json:"pre_join_ms"`
+	RemainderMillis  float64 `json:"remainder_ms"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+}
+
+// Metrics is the body of GET /metrics: the coalescing statistics, the
+// shared cache's counters (including the epoch and the CrossEpochHits
+// tripwire), the engine's timing split and the graph shape.
+type Metrics struct {
+	Epoch     uint64             `json:"epoch"`
+	Graph     GraphInfo          `json:"graph"`
+	Coalescer CoalescerStats     `json:"coalescer"`
+	Cache     core.CacheCounters `json:"cache"`
+	Timing    TimingInfo         `json:"timing"`
+}
+
+// MetricsSnapshot returns what GET /metrics serves, for in-process
+// consumers (the serve benchmark reads CrossEpochHits through it).
+func (s *Server) MetricsSnapshot() Metrics {
+	g := s.engine.Graph()
+	st := s.engine.Stats()
+	return Metrics{
+		Epoch: s.engine.Epoch(),
+		Graph: GraphInfo{
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Labels:   g.NumLabels(),
+		},
+		Coalescer: s.coal.stats(),
+		Cache:     s.engine.Cache().Counters(),
+		Timing: TimingInfo{
+			Queries:          st.Queries,
+			SharedDataMillis: float64(st.SharedData) / float64(time.Millisecond),
+			PreJoinMillis:    float64(st.PreJoin) / float64(time.Millisecond),
+			RemainderMillis:  float64(st.Remainder) / float64(time.Millisecond),
+			CacheHits:        st.CacheHits,
+			CacheMisses:      st.CacheMisses,
+		},
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -32,10 +32,10 @@ type DynClosure struct {
 	// From[v] / Into[v] are v's forward and backward reach sets; nil
 	// means empty. Exported so internal/rtc can perform the SCC-merge row
 	// surgery its SID-level patching needs; AddEdge keeps the two sides
-	// and the pair count consistent, and any direct mutation must too.
+	// consistent, and any direct mutation must too. (There is
+	// deliberately no live pair counter: the rtc merge surgery rewrites
+	// rows wholesale, and Seal/SealRemapped recount from the rows.)
 	From, Into []map[graph.VID]struct{}
-	// Pairs is the live pair count.
-	Pairs int
 
 	// scratch for AddEdge's snapshot of the two product sides.
 	srcs, dsts []graph.VID
@@ -93,7 +93,6 @@ func (d *DynClosure) addPair(u, w graph.VID) bool {
 		d.Into[w] = iw
 	}
 	iw[u] = struct{}{}
-	d.Pairs++
 	return true
 }
 

@@ -36,7 +36,11 @@
 package rtcshare
 
 import (
+	"context"
 	"io"
+	"net"
+	"net/http"
+	"time"
 
 	"rtcshare/internal/core"
 	"rtcshare/internal/datagen"
@@ -45,6 +49,7 @@ import (
 	"rtcshare/internal/pairs"
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
+	"rtcshare/internal/server"
 )
 
 // VID identifies a vertex: dense integers in [0, NumVertices).
@@ -312,6 +317,75 @@ func EvaluateParallel(g *Graph, query string, workers int) (*Result, error) {
 		return nil, err
 	}
 	return eval.New(g, expr, eval.Options{}).EvaluateAllParallel(workers), nil
+}
+
+// Server is the rpqd HTTP/JSON query service over one engine: a batch
+// coalescer admits concurrent POST /query requests into a bounded
+// time/size window, deduplicates them by query string, evaluates the
+// window as ONE engine batch — so unrelated clients share closure
+// structures within a single graph epoch — and demultiplexes the sealed
+// results back to the waiting requests with limit/offset paging.
+// POST /update drives Engine.ApplyUpdates; GET /explain, /healthz and
+// /metrics expose plans, liveness, cache counters and coalescing
+// statistics. A Server is an http.Handler; create one with NewServer
+// and serve it yourself, or use Serve for the whole lifecycle. See
+// DESIGN.md §10.
+type Server = server.Server
+
+// ServerOptions configure a Server: the coalescing window and
+// distinct-size cap, the batch fan-out, the admission control (max
+// in-flight batches, queued-batch bound, per-request timeout) and the
+// coalescing-off switch. The zero value gets the documented defaults.
+type ServerOptions = server.Options
+
+// ServerMetrics is the GET /metrics payload: the graph epoch and shape,
+// the coalescing statistics, the shared-cache counters (including the
+// CrossEpochHits tripwire) and the engine's timing split.
+type ServerMetrics = server.Metrics
+
+// CoalescerStats is the batch coalescer's activity snapshot inside
+// ServerMetrics: admissions, dedup hits, batch sizes and seal reasons,
+// rejections and timeouts.
+type CoalescerStats = server.CoalescerStats
+
+// NewServer returns the rpqd HTTP handler over engine. The engine may
+// be shared with in-process users; updates through either side keep
+// both epoch-consistent. Close the server to drain its coalescer.
+func NewServer(engine *Engine, opts ServerOptions) *Server {
+	return server.New(engine, opts)
+}
+
+// Serve listens on addr and serves the rpqd HTTP API over engine until
+// ctx is cancelled, then shuts down gracefully: the listener closes,
+// in-flight requests and the pending coalescing window finish, and nil
+// is returned. A non-nil error is a listen or serve failure.
+func Serve(ctx context.Context, addr string, engine *Engine, opts ServerOptions) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, l, engine, opts)
+}
+
+// ServeListener is Serve over an existing listener — the form that lets
+// callers bind port 0 and read the chosen address back. The listener is
+// closed when ServeListener returns.
+func ServeListener(ctx context.Context, l net.Listener, engine *Engine, opts ServerOptions) error {
+	srv := server.New(engine, opts)
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := hs.Shutdown(shutCtx)
+	srv.Close()
+	return err
 }
 
 // RMATConfig parameterises the synthetic graph generator (the

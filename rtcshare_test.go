@@ -2,7 +2,13 @@ package rtcshare_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
 	"testing"
+	"time"
 
 	"rtcshare"
 )
@@ -311,5 +317,64 @@ func TestPublicMutableGraph(t *testing.T) {
 	m2 := rtcshare.MutableFromGraph(g)
 	if m2.NumEdges() != 1 {
 		t.Fatalf("round-trip edges = %d, want 1", m2.NumEdges())
+	}
+}
+
+// TestPublicServe boots the HTTP service through the public surface
+// (NewEngine + ServeListener), issues a coalesced query and an update,
+// and shuts down cleanly.
+func TestPublicServe(t *testing.T) {
+	g := fig1(t)
+	engine := rtcshare.NewEngine(g, rtcshare.Options{})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- rtcshare.ServeListener(ctx, l, engine, rtcshare.ServerOptions{Window: time.Millisecond})
+	}()
+
+	resp, err := http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"query":"d·(b·c)+·c"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Total int      `json:"total"`
+		Epoch uint64   `json:"epoch"`
+		Pairs [][2]int `json:"pairs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Total != 2 {
+		t.Fatalf("query: status %d, total %d (want 2)", resp.StatusCode, qr.Total)
+	}
+
+	resp, err = http.Post(base+"/update", "application/json",
+		strings.NewReader(`{"updates":[{"op":"insert","src":6,"label":"b","dst":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur struct {
+		Epoch    uint64 `json:"epoch"`
+		Inserted int    `json:"inserted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ur.Inserted != 1 || ur.Epoch != qr.Epoch+1 {
+		t.Fatalf("update: %+v (query epoch %d)", ur, qr.Epoch)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("ServeListener: %v", err)
 	}
 }
