@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"rtcshare/internal/cli"
 	"rtcshare/internal/core"
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
@@ -31,10 +32,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "rpq:", err)
-		os.Exit(1)
-	}
+	cli.Exit("rpq", run(os.Args[1:]))
 }
 
 func run(args []string) error {

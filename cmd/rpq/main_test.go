@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"rtcshare/internal/cli"
 	"testing"
 )
 
@@ -82,5 +83,14 @@ func TestParseStrategy(t *testing.T) {
 		if (err == nil) != tc.ok {
 			t.Errorf("parseStrategy(%q) err=%v", tc.in, err)
 		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if err := run([]string{"-h"}); cli.ExitCode(err) != 0 {
+		t.Fatalf("-h must map to exit 0, got err %v", err)
+	}
+	if err := run([]string{"-no-such-flag"}); cli.ExitCode(err) != 1 {
+		t.Fatalf("bad flag must map to exit 1, got err %v", err)
 	}
 }

@@ -31,13 +31,11 @@ import (
 	"os"
 
 	"rtcshare/internal/bench"
+	"rtcshare/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "rpqbench:", err)
-		os.Exit(1)
-	}
+	cli.Exit("rpqbench", run(os.Args[1:]))
 }
 
 func run(args []string) error {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"rtcshare/internal/cli"
 	"testing"
 )
 
@@ -67,5 +68,14 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("case %d (%v): want error", i, args)
 		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if err := run([]string{"-h"}); cli.ExitCode(err) != 0 {
+		t.Fatalf("-h must map to exit 0, got err %v", err)
+	}
+	if err := run([]string{"-no-such-flag"}); cli.ExitCode(err) != 1 {
+		t.Fatalf("bad flag must map to exit 1, got err %v", err)
 	}
 }

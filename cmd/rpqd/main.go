@@ -7,6 +7,8 @@
 //	rpqd -demo                              # serve the paper's Fig. 1 graph
 //	rpqd -graph g.txt -addr :9090 -window 2ms -max-batch 64
 //	rpqd -graph g.txt -no-coalesce          # per-request evaluation baseline
+//	rpqd -graph g.txt -data ./state         # durable: WAL every update batch
+//	rpqd -data ./state                      # restart from the stored snapshot
 //
 // Endpoints:
 //
@@ -15,7 +17,18 @@
 //	POST /update   {"updates":[{"op":"insert","src":1,"label":"a","dst":2}]}
 //	GET  /explain?q=…                       # the plan, without executing
 //	GET  /healthz                           # liveness + current epoch
-//	GET  /metrics                           # cache/coalescing/epoch counters
+//	GET  /metrics                           # cache/coalescing/epoch/store counters
+//	POST /admin/snapshot                    # compact the log into a snapshot
+//
+// A wrong method on any endpoint answers 405 with an Allow header.
+//
+// With -data, every effective update batch is fsynced to a write-ahead
+// log before the client hears 200, and a snapshot (graph plus the cached
+// closure structures) is written on graceful shutdown, on
+// POST /admin/snapshot, and every -snapshot-every batches. The next boot
+// restores the snapshot — closures included, so the first queries hit a
+// warm cache — and replays the log tail; a snapshot in -data wins over
+// -graph.
 //
 // Concurrent /query requests landing within one coalescing window
 // (-window, default 2ms, sealed early at -max-batch distinct queries)
@@ -38,16 +51,14 @@ import (
 	"time"
 
 	"rtcshare"
+	"rtcshare/internal/cli"
 	"rtcshare/internal/fixtures"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "rpqd:", err)
-		os.Exit(1)
-	}
+	cli.Exit("rpqd", run(ctx, os.Args[1:], os.Stdout))
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -65,6 +76,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxQueued   = fs.Int("max-queued", 8, "sealed batches awaiting a slot before 503")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		noCoalesce  = fs.Bool("no-coalesce", false, "evaluate each request immediately (baseline)")
+		dataDir     = fs.String("data", "", "persistence directory (snapshot + update log); a resident snapshot wins over -graph")
+		snapEvery   = fs.Int("snapshot-every", 0, "with -data, also snapshot every N effective update batches (0 = only on shutdown and /admin/snapshot)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,7 +101,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("-graph is required (or -demo)")
+		if *dataDir == "" {
+			return fmt.Errorf("-graph is required (or -demo, or -data with a resident snapshot)")
+		}
+		// -data alone: the store must hold a snapshot; OpenEngine says so
+		// if it does not.
 	}
 
 	var strat rtcshare.Strategy
@@ -112,8 +129,35 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown planner %q (want heuristic or cost)", *planner)
 	}
 
-	engine := rtcshare.NewEngine(g, rtcshare.Options{Strategy: strat, Planner: mode})
+	eopts := rtcshare.Options{Strategy: strat, Planner: mode}
+	var (
+		engine  *rtcshare.Engine
+		persist *rtcshare.PersistentEngine
+	)
+	if *dataDir != "" {
+		st, err := rtcshare.OpenStore(*dataDir)
+		if err != nil {
+			return err
+		}
+		p, info, err := rtcshare.OpenEngine(st, g, eopts, rtcshare.PersistOptions{SnapshotEvery: *snapEvery})
+		if err != nil {
+			st.Close()
+			return err
+		}
+		persist, engine = p, p.Engine
+		if info.RestoredSnapshot {
+			fmt.Fprintf(out, "rpqd: restored %s: snapshot epoch %d (%d RTCs, %d closures, %d relations), replayed %d batches (%d updates), epoch %d, %.1fms\n",
+				*dataDir, info.SnapshotEpoch, info.RestoredRTCs, info.RestoredClosures, info.RestoredRelations,
+				info.ReplayedBatches, info.ReplayedUpdates, info.Epoch, info.LoadMillis)
+		} else {
+			fmt.Fprintf(out, "rpqd: initialised %s from seed graph (anchor snapshot at epoch %d, %.1fms)\n",
+				*dataDir, info.Epoch, info.LoadMillis)
+		}
+	} else {
+		engine = rtcshare.NewEngine(g, eopts)
+	}
 	opts := rtcshare.ServerOptions{
+		Persist:           persist,
 		Window:            *window,
 		MaxBatch:          *maxBatch,
 		Workers:           *workers,
@@ -127,7 +171,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "rpqd: graph %s\n", g.Stats())
+	fmt.Fprintf(out, "rpqd: graph %s\n", engine.Graph().Stats())
 	fmt.Fprintf(out, "rpqd: serving on http://%s (window %v, max-batch %d)\n", l.Addr(), *window, *maxBatch)
-	return rtcshare.ServeListener(ctx, l, engine, opts)
+	err = rtcshare.ServeListener(ctx, l, engine, opts)
+	if persist != nil {
+		// Graceful shutdown: compact the log into a final snapshot so the
+		// next boot restores instantly instead of replaying the tail.
+		if info, serr := persist.Snapshot(); serr != nil {
+			fmt.Fprintf(out, "rpqd: shutdown snapshot failed: %v\n", serr)
+			if err == nil {
+				err = serr
+			}
+		} else {
+			fmt.Fprintf(out, "rpqd: shutdown snapshot: epoch %d, %d bytes, %.1fms\n", info.Epoch, info.Bytes, info.WallMillis)
+		}
+		if cerr := persist.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -14,15 +14,13 @@ import (
 	"os"
 	"strings"
 
+	"rtcshare/internal/cli"
 	"rtcshare/internal/datagen"
 	"rtcshare/internal/graph"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "rpqgen:", err)
-		os.Exit(1)
-	}
+	cli.Exit("rpqgen", run(os.Args[1:]))
 }
 
 func run(args []string) error {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"rtcshare/internal/cli"
 	"testing"
 
 	"rtcshare/internal/graph"
@@ -77,5 +78,14 @@ func TestLookupDataset(t *testing.T) {
 	}
 	if _, ok := lookupDataset("mystery"); ok {
 		t.Error("lookupDataset(mystery) succeeded")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if err := run([]string{"-h"}); cli.ExitCode(err) != 0 {
+		t.Fatalf("-h must map to exit 0, got err %v", err)
+	}
+	if err := run([]string{"-no-such-flag"}); cli.ExitCode(err) != 1 {
+		t.Fatalf("bad flag must map to exit 1, got err %v", err)
 	}
 }

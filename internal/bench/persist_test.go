@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunPersistExperiment(t *testing.T) {
+	cfg := tinyUpdatesConfig()
+	ps, err := RunPersistExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(ps.Rows))
+	}
+	r := ps.Rows[0]
+	if r.Queries == 0 || r.ResultPairs == 0 {
+		t.Fatalf("empty run: %+v", r)
+	}
+	if r.SnapshotBytes == 0 {
+		t.Error("snapshot file is empty")
+	}
+	if r.ReplayedBatches != persistTailBatches {
+		t.Errorf("replayed %d batches, want the %d-batch tail", r.ReplayedBatches, persistTailBatches)
+	}
+	// The point of the experiment: the restore boot comes up with warm
+	// structures. RunPersistExperiment already gates on identity and
+	// restore-misses < cold-misses; re-assert the visible outputs.
+	if r.RestoredStructures == 0 {
+		t.Error("no closure structures restored")
+	}
+	if r.RestoreMisses >= r.ColdMisses {
+		t.Errorf("restore boot missed %d ≥ cold boot %d", r.RestoreMisses, r.ColdMisses)
+	}
+	if r.ColdWall <= 0 || r.RestoreWall <= 0 || r.Speedup <= 0 {
+		t.Errorf("missing timings: %+v", r)
+	}
+
+	var sb strings.Builder
+	ps.RenderPersist(&sb)
+	for _, col := range []string{"cold", "restore", "speedup"} {
+		if !strings.Contains(sb.String(), col) {
+			t.Errorf("render missing %q:\n%s", col, sb.String())
+		}
+	}
+}
+
+func TestPersistExperimentRegistered(t *testing.T) {
+	if _, ok := Lookup("persist"); !ok {
+		t.Fatal("persist experiment not in the registry")
+	}
+}
+
+// TestPersistRegistryAdapters drives the experiment through the
+// registry entry, the way cmd/rpqbench invokes it.
+func TestPersistRegistryAdapters(t *testing.T) {
+	exp, ok := Lookup("persist")
+	if !ok {
+		t.Fatal("persist experiment not registered")
+	}
+	if err := exp.Run(io.Discard, tinyUpdatesConfig()); err != nil {
+		t.Fatal(err)
+	}
+	report, err := exp.JSON(io.Discard, tinyUpdatesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*PersistSweep); !ok {
+		t.Fatalf("JSON adapter returned %T, want *PersistSweep", report)
+	}
+}

@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{ID: "fig15b", Title: "Fig. 15(b): three-part split vs #RPQs, Advogato", Run: rpqSweep(false, (*RPQSweep).RenderFig15)},
 		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
 		{ID: "layout", Title: "Layout (beyond the paper): map-set vs columnar, bfs vs bitset closures", Run: runLayout, JSON: jsonLayout},
+		{ID: "persist", Title: "Persist (beyond the paper): cold-rebuild boot vs snapshot-restore boot", Run: runPersist, JSON: jsonPersist},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
 		{ID: "serve", Title: "Serve (beyond the paper): closed-loop HTTP, batch coalescing on vs off", Run: runServe, JSON: jsonServe},
 		{ID: "updates", Title: "Updates (beyond the paper): incremental maintenance vs rebuild-from-scratch", Run: runUpdates, JSON: jsonUpdates},
@@ -117,6 +118,11 @@ func runPlanner(w io.Writer, cfg RunConfig) error {
 	return err
 }
 
+func runPersist(w io.Writer, cfg RunConfig) error {
+	_, err := jsonPersist(w, cfg)
+	return err
+}
+
 func runUpdates(w io.Writer, cfg RunConfig) error {
 	_, err := jsonUpdates(w, cfg)
 	return err
@@ -134,6 +140,15 @@ func jsonServe(w io.Writer, cfg RunConfig) (any, error) {
 	}
 	ss.RenderServe(w)
 	return ss, nil
+}
+
+func jsonPersist(w io.Writer, cfg RunConfig) (any, error) {
+	ps, err := RunPersistExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ps.RenderPersist(w)
+	return ps, nil
 }
 
 func jsonUpdates(w io.Writer, cfg RunConfig) (any, error) {

@@ -1,0 +1,36 @@
+// Package cli holds the one behavior every rtcshare command shares: how
+// a top-level error maps to a process exit. The subtlety is -h: a
+// flag.FlagSet in ContinueOnError mode reports help as the sentinel
+// error flag.ErrHelp after printing usage, and a main that treats every
+// non-nil error as failure turns "rpq -h" into exit status 1 with a
+// spurious "flag: help requested" line. Help the user asked for is a
+// success, so Exit maps flag.ErrHelp (however deeply wrapped) to status
+// 0 and stays silent — the usage text was already printed.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// ExitCode maps a command's top-level error to its exit status: 0 for
+// nil and for flag.ErrHelp, 1 otherwise. Split from Exit so command
+// tests can assert the mapping without forking a process.
+func ExitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	return 1
+}
+
+// Exit terminates the process with ExitCode(err), printing "name: err"
+// to stderr first when the error is a real failure. flag.ErrHelp prints
+// nothing: the FlagSet already wrote the usage text.
+func Exit(name string, err error) {
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	os.Exit(ExitCode(err))
+}

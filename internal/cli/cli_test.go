@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"wrapped help", fmt.Errorf("parse: %w", flag.ErrHelp), 0},
+		{"real failure", fmt.Errorf("boom"), 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFlagSetHelpYieldsErrHelp pins the stdlib behavior the whole fix
+// rests on: -h through a ContinueOnError FlagSet surfaces as
+// flag.ErrHelp, which ExitCode must treat as success.
+func TestFlagSetHelpYieldsErrHelp(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	err := fs.Parse([]string{"-h"})
+	if err != flag.ErrHelp {
+		t.Fatalf("Parse(-h) = %v, want flag.ErrHelp", err)
+	}
+	if ExitCode(err) != 0 {
+		t.Fatal("help mapped to failure")
+	}
+}

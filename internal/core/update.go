@@ -111,6 +111,14 @@ func (e *Engine) ApplyUpdates(updates []GraphUpdate) (UpdateResult, error) {
 		if u.Src < 0 || u.Src >= n || u.Dst < 0 || u.Dst >= n {
 			return UpdateResult{Epoch: v.epoch}, fmt.Errorf("core: update %d: edge (%d,%q,%d) out of range [0,%d)", i, u.Src, u.Label, u.Dst, n)
 		}
+		// Insert labels are validated up front so a bad label rejects the
+		// whole batch before anything mutates (batch atomicity); deletes
+		// stay permissive — an uninsertable label is simply never present.
+		if u.Op == OpInsertEdge {
+			if err := graph.ValidateLabel(u.Label); err != nil {
+				return UpdateResult{Epoch: v.epoch}, fmt.Errorf("core: update %d: %w", i, err)
+			}
+		}
 	}
 
 	// Apply, keeping only the effective deltas: the migration below

@@ -96,6 +96,16 @@ func DiGraphFromCSR(numVertices int, offsets []int32, dsts []VID) *DiGraph {
 	return d
 }
 
+// CSR returns the forward adjacency's raw columns: the successors of v
+// are targets[offsets[v]:offsets[v+1]], sorted ascending. The slices
+// alias internal storage and must not be modified — this is the
+// serialization hook; a DiGraph is rebuilt from the columns with
+// DiGraphFromCSR (after graph.ValidateCSR for columns from outside the
+// process, since DiGraphFromCSR trusts its input).
+func (d *DiGraph) CSR() (offsets []int32, targets []VID) {
+	return d.fwd.offsets, d.fwd.targets
+}
+
 // TransposeCSR counting-sorts a src-grouped CSR into its dst-grouped
 // mirror: tOffsets[w]:tOffsets[w+1] index the sources pairing to w in
 // tTargets. Walking sources ascending appends each transposed run in

@@ -243,8 +243,14 @@ func (b *Builder) NumVertices() int { return b.numVertices }
 func (b *Builder) Dict() *Dict { return b.dict }
 
 // AddEdge records the edge e(src, label, dst), interning the label string.
-// It returns an error if either endpoint is out of range.
+// It returns an error if either endpoint is out of range or the label
+// fails ValidateLabel (which would break the text format's Write→Read
+// round-trip); rejected labels are never interned. Callers that
+// deliberately need such labels can intern them and use AddEdgeLID.
 func (b *Builder) AddEdge(src VID, label string, dst VID) error {
+	if err := ValidateLabel(label); err != nil {
+		return err
+	}
 	return b.AddEdgeLID(src, b.dict.Intern(label), dst)
 }
 

@@ -18,8 +18,21 @@ import (
 // One edge per line as "src label dst". The %vertices directive sizes the
 // VID space; without it the space is 1 + the largest VID seen.
 
-// Write serialises g in the text edge-list format.
+// Write serialises g in the text edge-list format. Labels the format
+// cannot represent faithfully (see ValidateLabel) are rejected up front
+// if any edge carries them, so Write never emits a file Read would
+// reject or silently mis-parse; such graphs — constructible via the
+// LID-level builder paths — round-trip through the binary snapshot
+// format instead.
 func Write(w io.Writer, g *Graph) error {
+	for l := 0; l < g.NumLabels(); l++ {
+		if g.LabelEdgeCount(LID(l)) == 0 {
+			continue
+		}
+		if err := ValidateLabel(g.dict.Name(LID(l))); err != nil {
+			return fmt.Errorf("graph: write: %w", err)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%%vertices %d\n", g.NumVertices()); err != nil {
 		return err

@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ValidateLabel rejects label names that cannot survive a Write→Read
+// round-trip of the text edge-list format: the empty string, names
+// containing Unicode whitespace (Read splits lines on whitespace, so an
+// embedded space silently re-parses as extra fields), and names starting
+// with '#' or '%' (Read treats such lines as comments or directives).
+// Builder.AddEdge, Mutable.InsertEdge and Write all enforce it; the
+// LID-level paths (AddEdgeLID, Dict.Intern) stay permissive so graphs
+// with such labels can still be constructed deliberately — the binary
+// snapshot format round-trips them, only the text format refuses.
+func ValidateLabel(label string) error {
+	if label == "" {
+		return fmt.Errorf("graph: empty label")
+	}
+	if c := label[0]; c == '#' || c == '%' {
+		return fmt.Errorf("graph: label %q starts with %q (reserved for comments/directives in the text format)", label, string(c))
+	}
+	if strings.IndexFunc(label, unicode.IsSpace) >= 0 {
+		return fmt.Errorf("graph: label %q contains whitespace", label)
+	}
+	return nil
+}

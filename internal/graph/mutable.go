@@ -107,9 +107,14 @@ func (m *Mutable) label(l LID) *mutableLabel {
 
 // InsertEdge adds the edge (src, label, dst), interning the label if it
 // is new. It reports whether the edge was actually added (false: the
-// triple already existed) and errs on out-of-range endpoints.
+// triple already existed) and errs on out-of-range endpoints or a label
+// failing ValidateLabel (rejected labels are never interned; DeleteEdge
+// stays permissive — a never-insertable label is simply never present).
 func (m *Mutable) InsertEdge(src VID, label string, dst VID) (bool, error) {
 	if err := m.checkEndpoints(src, dst); err != nil {
+		return false, err
+	}
+	if err := ValidateLabel(label); err != nil {
 		return false, err
 	}
 	return m.insertLID(src, m.dict.Intern(label), dst), nil

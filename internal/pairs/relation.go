@@ -1,6 +1,7 @@
 package pairs
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
@@ -350,6 +351,18 @@ func (b *Builder) Seal() *Relation {
 
 // RelationFromSet seals a mutable Set into a Relation over the given
 // VID space.
+// RelationFromCSR rebuilds a sealed relation from raw CSR columns,
+// validating them first (offsets monotone and spanning dsts, runs
+// strictly increasing, dsts in range) so columns loaded from disk can
+// never break the binary searches or index out of range. The relation
+// shares the given slices; the caller must not modify them afterwards.
+func RelationFromCSR(numVertices int, srcOffsets []int32, dsts []graph.VID) (*Relation, error) {
+	if err := graph.ValidateCSR(numVertices, numVertices, srcOffsets, dsts, true); err != nil {
+		return nil, fmt.Errorf("pairs: relation CSR: %w", err)
+	}
+	return &Relation{numVertices: numVertices, srcOffsets: srcOffsets, dsts: dsts}, nil
+}
+
 func RelationFromSet(numVertices int, s *Set) *Relation {
 	b := NewBuilder(numVertices)
 	b.AddSet(s)

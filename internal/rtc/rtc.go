@@ -12,6 +12,8 @@
 package rtc
 
 import (
+	"fmt"
+
 	"rtcshare/internal/graph"
 	"rtcshare/internal/pairs"
 	"rtcshare/internal/scc"
@@ -99,6 +101,24 @@ func Compute(gr *graph.DiGraph, algo TCAlgorithm) *RTC {
 		condensation: cond,
 		closure:      algo.closureFunc()(cond),
 	}
+}
+
+// FromParts reassembles an RTC from its three structures — the SCC
+// decomposition of G_R, the condensation Ḡ_R, and TC(Ḡ_R) — checking
+// only that the three agree on the SID space (each part validates its
+// own internals on deserialization). The condensation is required even
+// though queries never read it directly: InsertEdges patches an RTC by
+// remapping the old condensation's edges through SCC merges, so a
+// restored RTC without it could not be maintained incrementally.
+func FromParts(comps *scc.Components, condensation *graph.DiGraph, closure *tc.Closure) (*RTC, error) {
+	k := comps.NumComponents()
+	if condensation.NumVertices() != k {
+		return nil, fmt.Errorf("rtc: condensation has %d vertices, want %d components", condensation.NumVertices(), k)
+	}
+	if closure.NumVertices() != k {
+		return nil, fmt.Errorf("rtc: closure has %d vertices, want %d components", closure.NumVertices(), k)
+	}
+	return &RTC{comps: comps, condensation: condensation, closure: closure}, nil
 }
 
 // EdgeReduceRel is EdgeReduce for a sealed columnar relation. A sealed

@@ -1,0 +1,50 @@
+package scc
+
+import (
+	"fmt"
+
+	"rtcshare/internal/graph"
+)
+
+// FromParts rebuilds a Components from its two tables, validating their
+// mutual consistency: every CompOf entry in [-1, k), every member row
+// strictly increasing with in-range VIDs, CompOf[v] = s exactly for the
+// members of s, and no vertex assigned to a component it is not listed
+// in (checked by counting: assigned vertices == total members). It is
+// the admission check for SCC tables arriving from a snapshot; an
+// in-process decomposition never needs it.
+func FromParts(compOf []int32, members [][]graph.VID) (*Components, error) {
+	n := len(compOf)
+	k := len(members)
+	assigned := 0
+	for v, s := range compOf {
+		if s < -1 || int(s) >= k {
+			return nil, fmt.Errorf("scc: CompOf[%d] = %d out of range [-1,%d)", v, s, k)
+		}
+		if s >= 0 {
+			assigned++
+		}
+	}
+	total := 0
+	for s, row := range members {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("scc: component %d is empty", s)
+		}
+		for i, v := range row {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("scc: component %d member %d out of range [0,%d)", s, v, n)
+			}
+			if i > 0 && row[i] <= row[i-1] {
+				return nil, fmt.Errorf("scc: component %d members not strictly increasing", s)
+			}
+			if compOf[v] != int32(s) {
+				return nil, fmt.Errorf("scc: vertex %d listed in component %d but CompOf says %d", v, s, compOf[v])
+			}
+		}
+		total += len(row)
+	}
+	if assigned != total {
+		return nil, fmt.Errorf("scc: %d vertices assigned to components but %d listed as members", assigned, total)
+	}
+	return &Components{CompOf: compOf, Members: members}, nil
+}

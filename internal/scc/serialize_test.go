@@ -1,0 +1,82 @@
+package scc
+
+import (
+	"reflect"
+	"testing"
+
+	"rtcshare/internal/graph"
+)
+
+// serializeFixture: a 3-cycle {0,1,2}, a 2-cycle {3,4}, vertex 5
+// inactive.
+func serializeFixture() *Components {
+	b := graph.NewDiBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 3)
+	return Tarjan(b.Build())
+}
+
+func TestFromPartsRoundTrip(t *testing.T) {
+	c := serializeFixture()
+	got, err := FromParts(c.CompOf, c.Members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip differs: %+v vs %+v", got, c)
+	}
+}
+
+func TestFromPartsRejectsInconsistentTables(t *testing.T) {
+	fresh := func() ([]int32, [][]graph.VID) {
+		c := serializeFixture()
+		compOf := append([]int32(nil), c.CompOf...)
+		members := make([][]graph.VID, len(c.Members))
+		for s, row := range c.Members {
+			members[s] = append([]graph.VID(nil), row...)
+		}
+		return compOf, members
+	}
+	cases := []struct {
+		name string
+		mut  func(compOf []int32, members [][]graph.VID) ([]int32, [][]graph.VID)
+	}{
+		{"SID out of range", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			co[0] = 9
+			return co, m
+		}},
+		{"SID below -1", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			co[0] = -2
+			return co, m
+		}},
+		{"empty component", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			m[0] = nil
+			return co, m
+		}},
+		{"member out of range", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			m[0][0] = 99
+			return co, m
+		}},
+		{"members not increasing", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			m[0][0], m[0][1] = m[0][1], m[0][0]
+			return co, m
+		}},
+		{"member not assigned to its component", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			co[m[0][0]] = -1
+			return co, m
+		}},
+		{"assigned vertex missing from members", func(co []int32, m [][]graph.VID) ([]int32, [][]graph.VID) {
+			co[5] = co[0] // 5 is inactive; claim it belongs to 0's SCC
+			return co, m
+		}},
+	}
+	for _, c := range cases {
+		co, m := fresh()
+		if _, err := FromParts(c.mut(co, m)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -27,13 +27,16 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"rtcshare/internal/core"
 	"rtcshare/internal/graph"
 	"rtcshare/internal/rpq"
+	"rtcshare/internal/store"
 )
 
 // Options configure a Server. The zero value gets the documented
@@ -65,6 +68,12 @@ type Options struct {
 	// shared engine, skipping the window — the serve experiment's
 	// baseline leg.
 	DisableCoalescing bool
+	// Persist, when set, routes POST /update through the persistent
+	// engine (apply + durable WAL append, plus its automatic-snapshot
+	// policy) and enables POST /admin/snapshot and the /metrics
+	// persistence section. The wrapped engine must be the same one the
+	// server evaluates on.
+	Persist *store.Persistent
 }
 
 // withDefaults fills the zero fields with the documented defaults.
@@ -116,13 +125,39 @@ func New(engine *core.Engine, opts Options) *Server {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("POST /update", s.handleUpdate)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route("/query", methods{"GET": s.handleQuery, "POST": s.handleQuery})
+	s.route("/update", methods{"POST": s.handleUpdate})
+	s.route("/explain", methods{"GET": s.handleExplain})
+	s.route("/healthz", methods{"GET": s.handleHealthz})
+	s.route("/metrics", methods{"GET": s.handleMetrics})
+	s.route("/admin/snapshot", methods{"POST": s.handleSnapshot})
 	return s
+}
+
+// methods maps HTTP methods to their handler for one path.
+type methods map[string]http.HandlerFunc
+
+// route registers each method's handler under Go 1.22+ "METHOD path"
+// patterns, plus a method-less fallback for the same path. The mux
+// prefers the method-specific patterns, so the fallback fires exactly
+// when the path is right and the method is wrong — where it answers
+// with a JSON 405 and an Allow header listing what the endpoint
+// accepts, instead of the mux's bare text default. (A wrong method must
+// never read as "no such endpoint" or, worse, execute: GET /update
+// returns 405, not a mutation.)
+func (s *Server) route(path string, m methods) {
+	allowed := make([]string, 0, len(m))
+	for method, h := range m {
+		s.mux.HandleFunc(method+" "+path, h)
+		allowed = append(allowed, method)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, path, allow))
+	})
 }
 
 // Engine returns the engine the server evaluates on.
@@ -306,7 +341,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.engine.ApplyUpdates(updates)
+	// Through the persistent engine when configured, so the batch is in
+	// the WAL before the client hears 200; the plain engine otherwise.
+	apply := s.engine.ApplyUpdates
+	if s.opts.Persist != nil {
+		apply = s.opts.Persist.ApplyUpdates
+	}
+	res, err := apply(updates)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -426,6 +467,9 @@ type Metrics struct {
 	Coalescer CoalescerStats     `json:"coalescer"`
 	Cache     core.CacheCounters `json:"cache"`
 	Timing    TimingInfo         `json:"timing"`
+	// Persistence reports the store's bookkeeping and how the engine
+	// booted; nil (omitted) when the server runs without -data.
+	Persistence *store.PersistInfo `json:"persistence,omitempty"`
 }
 
 // MetricsSnapshot returns what GET /metrics serves, for in-process
@@ -440,8 +484,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 			Edges:    g.NumEdges(),
 			Labels:   g.NumLabels(),
 		},
-		Coalescer: s.coal.stats(),
-		Cache:     s.engine.Cache().Counters(),
+		Coalescer:   s.coal.stats(),
+		Cache:       s.engine.Cache().Counters(),
+		Persistence: s.persistInfo(),
 		Timing: TimingInfo{
 			Queries:          st.Queries,
 			SharedDataMillis: float64(st.SharedData) / float64(time.Millisecond),
@@ -455,6 +500,34 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// persistInfo returns the /metrics persistence section, or nil when the
+// server runs without a persistent engine.
+func (s *Server) persistInfo() *store.PersistInfo {
+	if s.opts.Persist == nil {
+		return nil
+	}
+	info := s.opts.Persist.Metrics()
+	return &info
+}
+
+// handleSnapshot serves POST /admin/snapshot: capture the engine's
+// current state, write it as the new snapshot and reset the update log.
+// Without persistence configured the endpoint exists but refuses with
+// 409 — a deliberate "the server cannot do that", distinct from both
+// 404 (no such endpoint) and 405 (wrong method).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Persist == nil {
+		writeError(w, http.StatusConflict, errors.New("persistence not enabled (start rpqd with -data)"))
+		return
+	}
+	info, err := s.opts.Persist.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The binary codec shared by the snapshot body and the WAL payloads:
+// little-endian fixed-width integers, length-prefixed strings and int32
+// slabs. The decoder is defensive by construction — every read is
+// bounds-checked against the remaining buffer, every length is validated
+// against the bytes that could possibly back it before allocating, and
+// after the first error every subsequent read returns zero values — so
+// arbitrary bytes can never panic the loader or provoke an oversized
+// allocation (FuzzSnapshotLoad holds the codec to that).
+
+// encoder accumulates the little-endian encoding in one growing buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// i32s writes a length-prefixed int32 slab. graph.VID is an alias of
+// int32, so VID slices encode through this directly.
+func (e *encoder) i32s(v []int32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+	}
+}
+
+// decoder consumes a buffer with sticky-error semantics: the first
+// failed read records the error and every later read is a cheap no-op
+// returning zero values, so decoding code reads linearly and checks
+// d.err once per section.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.remaining() {
+		d.fail("need %d bytes, have %d", n, d.remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) i32s() []int32 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n*4 < 0 || n*4 > d.remaining() {
+		d.fail("slab of %d int32s exceeds remaining %d bytes", n, d.remaining())
+		return nil
+	}
+	b := d.take(n * 4)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// count reads a u32 element count for a sequence whose elements each
+// occupy at least minBytes bytes, rejecting counts the remaining buffer
+// cannot possibly back — the guard that keeps a fuzzed count field from
+// provoking a multi-gigabyte allocation.
+func (d *decoder) count(minBytes int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || minBytes > 0 && n > d.remaining()/minBytes {
+		d.fail("count %d exceeds what %d remaining bytes can hold", n, d.remaining())
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/graph"
+)
+
+// Options configures a Persistent engine's compaction policy.
+type Options struct {
+	// SnapshotEvery triggers an automatic snapshot after this many
+	// effective (logged) update batches; 0 means snapshots happen only on
+	// explicit Snapshot calls (e.g. rpqd's /admin/snapshot and graceful
+	// shutdown).
+	SnapshotEvery int
+}
+
+// Persistent wraps a core.Engine so every effective update batch is
+// durably logged before ApplyUpdates returns, and the snapshot can be
+// compacted on demand or every N batches. Reads (Evaluate, Explain,
+// Metrics…) go straight to the embedded engine; only the mutation path
+// is shadowed.
+type Persistent struct {
+	*core.Engine
+
+	store Store
+
+	mu            sync.Mutex // serialises apply+log and snapshot
+	snapshotEvery int
+	sinceSnapshot int
+	recovery      RecoveryInfo
+}
+
+// RecoveryInfo describes how the engine reached its boot state — served
+// under /metrics and logged at rpqd startup.
+type RecoveryInfo struct {
+	// RestoredSnapshot is false on a cold boot (no snapshot existed; the
+	// engine was seeded from a graph and an initial snapshot written).
+	RestoredSnapshot bool   `json:"restored_snapshot"`
+	SnapshotEpoch    uint64 `json:"snapshot_epoch"`
+	// ReplayedBatches / ReplayedUpdates count the WAL tail replayed on
+	// top of the snapshot.
+	ReplayedBatches int `json:"replayed_batches"`
+	ReplayedUpdates int `json:"replayed_updates"`
+	// Epoch is the engine's graph epoch after recovery.
+	Epoch uint64 `json:"epoch"`
+	// RestoredRTCs / RestoredClosures / RestoredRelations count the
+	// cached structures installed from the snapshot (warm-start state the
+	// first queries hit instead of recomputing).
+	RestoredRTCs      int `json:"restored_rtcs"`
+	RestoredClosures  int `json:"restored_closures"`
+	RestoredRelations int `json:"restored_relations"`
+	// LoadMillis is the wall-clock of the whole recovery (load + replay).
+	LoadMillis float64 `json:"load_ms"`
+}
+
+// SnapshotInfo describes one written snapshot — the /admin/snapshot
+// response body.
+type SnapshotInfo struct {
+	Epoch      uint64  `json:"epoch"`
+	Bytes      int64   `json:"bytes"`
+	RTCs       int     `json:"rtcs"`
+	Closures   int     `json:"closures"`
+	Relations  int     `json:"relations"`
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// PersistInfo is the persistence section of rpqd's /metrics.
+type PersistInfo struct {
+	Store                Stats        `json:"store"`
+	BatchesSinceSnapshot int          `json:"batches_since_snapshot"`
+	SnapshotEvery        int          `json:"snapshot_every"`
+	Recovery             RecoveryInfo `json:"recovery"`
+}
+
+// Open boots a Persistent engine from s. If s holds a snapshot, the
+// engine is restored from it and the WAL tail (records past the
+// snapshot's epoch) is replayed through the normal ApplyUpdates path, so
+// the recovered state — graph, epoch, and migrated cache — is identical
+// to an engine that lived through those batches. Without a snapshot this
+// is a cold boot: seed must be non-nil, the engine starts from it, and
+// an initial snapshot is written so the WAL has an anchor.
+func Open(s Store, seed *graph.Graph, opts core.Options, popts Options) (*Persistent, RecoveryInfo, error) {
+	start := time.Now()
+	var info RecoveryInfo
+	var eng *core.Engine
+
+	st, err := s.LoadSnapshot()
+	switch {
+	case err == nil:
+		eng, err = core.RestoreEngine(st, opts)
+		if err != nil {
+			return nil, info, err
+		}
+		info.RestoredSnapshot = true
+		info.SnapshotEpoch = st.Epoch
+		info.RestoredRTCs = len(st.RTCs)
+		info.RestoredClosures = len(st.Fulls)
+		info.RestoredRelations = len(st.Relations)
+		err = s.ReplayBatches(st.Epoch, func(b LoggedBatch) error {
+			res, err := eng.ApplyUpdates(b.Updates)
+			if err != nil {
+				return fmt.Errorf("store: replay epoch %d: %w", b.Epoch, err)
+			}
+			if res.Epoch != b.Epoch {
+				return fmt.Errorf("store: replay diverged: batch logged at epoch %d, replay reached %d", b.Epoch, res.Epoch)
+			}
+			info.ReplayedBatches++
+			info.ReplayedUpdates += len(b.Updates)
+			return nil
+		})
+		if err != nil {
+			return nil, info, err
+		}
+	case err == ErrNoSnapshot:
+		if seed == nil {
+			return nil, info, fmt.Errorf("store: empty store and no seed graph")
+		}
+		eng = core.New(seed, opts)
+	default:
+		return nil, info, err
+	}
+
+	p := &Persistent{Engine: eng, store: s, snapshotEvery: popts.SnapshotEvery}
+	if !info.RestoredSnapshot {
+		// Anchor the log: WAL epochs are relative to a snapshot epoch, so
+		// a cold boot persists its seed state before accepting updates.
+		if _, err := p.snapshotLocked(); err != nil {
+			return nil, info, err
+		}
+	}
+	info.Epoch = eng.Epoch()
+	info.LoadMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	p.recovery = info
+	return p, info, nil
+}
+
+// ApplyUpdates shadows the engine's: the batch is applied in memory
+// first, then — if it had any effect — durably logged, then counted
+// toward the automatic-snapshot threshold. An ineffective batch
+// (all no-ops) advances no epoch and writes no record.
+func (p *Persistent) ApplyUpdates(updates []core.GraphUpdate) (core.UpdateResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, err := p.Engine.ApplyUpdates(updates)
+	if err != nil {
+		return res, err
+	}
+	if res.Inserted+res.Deleted == 0 {
+		return res, nil
+	}
+	if err := p.store.AppendBatch(res.Epoch, updates); err != nil {
+		return res, fmt.Errorf("store: batch applied in memory but not logged (durability lost until next snapshot): %w", err)
+	}
+	p.sinceSnapshot++
+	if p.snapshotEvery > 0 && p.sinceSnapshot >= p.snapshotEvery {
+		if _, err := p.snapshotLocked(); err != nil {
+			return res, fmt.Errorf("store: batch logged but auto-snapshot failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Snapshot captures the engine's current state, writes it as the new
+// snapshot and resets the log.
+func (p *Persistent) Snapshot() (SnapshotInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *Persistent) snapshotLocked() (SnapshotInfo, error) {
+	start := time.Now()
+	st := p.Engine.SnapshotState()
+	if err := p.store.WriteSnapshot(st); err != nil {
+		return SnapshotInfo{}, err
+	}
+	p.sinceSnapshot = 0
+	return SnapshotInfo{
+		Epoch:      st.Epoch,
+		Bytes:      p.store.Stats().SnapshotBytes,
+		RTCs:       len(st.RTCs),
+		Closures:   len(st.Fulls),
+		Relations:  len(st.Relations),
+		WallMillis: float64(time.Since(start).Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// Recovery reports how this engine booted.
+func (p *Persistent) Recovery() RecoveryInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recovery
+}
+
+// Metrics reports the persistence state served under /metrics.
+func (p *Persistent) Metrics() PersistInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PersistInfo{
+		Store:                p.store.Stats(),
+		BatchesSinceSnapshot: p.sinceSnapshot,
+		SnapshotEvery:        p.snapshotEvery,
+		Recovery:             p.recovery,
+	}
+}
+
+// Close releases the underlying store. The engine itself needs no
+// teardown; callers wanting a final snapshot call Snapshot first (rpqd
+// does, on graceful shutdown).
+func (p *Persistent) Close() error {
+	return p.store.Close()
+}

@@ -1,0 +1,83 @@
+// Package store persists engine state so rpqd can restart without
+// rebuilding the world from a text edge list: a versioned, checksummed
+// binary snapshot of one engine epoch (graph CSR columns, label dict,
+// and the cached RTCs / closures / sealed relations, all laid out as
+// flat slabs loadable in a single read), plus a write-ahead log of
+// epoch-tagged GraphUpdate batches with CRC-per-record framing, fsync on
+// commit and a truncated-tail-tolerant reader. Recovery is
+// load-snapshot + replay-WAL-tail and reproduces the in-memory state
+// exactly: the replayed batches advance the engine through the same
+// epochs the live process went through, migrating the restored
+// structures under the normal carry/patch/drop rules.
+//
+// The Store interface keeps backends pluggable; Dir is the file-system
+// backend (one snapshot file plus one log file in a directory, rotated
+// atomically via temp-file + rename). Persistent wraps a core.Engine so
+// every applied batch is logged before the call returns, with optional
+// automatic snapshot compaction every N batches. See DESIGN.md §11 for
+// the formats and the recovery invariants.
+package store
+
+import (
+	"errors"
+
+	"rtcshare/internal/core"
+)
+
+// ErrNoSnapshot is returned by Store.LoadSnapshot when the backend holds
+// no snapshot yet — the cold-boot signal, distinct from a corrupt or
+// unreadable snapshot (which is a real error: recovery must not silently
+// fall back to an empty graph).
+var ErrNoSnapshot = errors.New("store: no snapshot")
+
+// LoggedBatch is one write-ahead-log record: the update batch and the
+// graph epoch the engine reached by applying it. Only effective batches
+// are logged (a wholly no-op batch advances no epoch and needs no
+// record), so consecutive records carry consecutive epochs.
+type LoggedBatch struct {
+	Epoch   uint64
+	Updates []core.GraphUpdate
+}
+
+// Store is a persistence backend: one snapshot slot plus one append-only
+// update log. Implementations are safe for concurrent use. The contract
+// recovery depends on: WriteSnapshot atomically replaces the snapshot
+// and then resets the log, in that order — a crash between the two
+// leaves old-epoch records in the log, which ReplayBatches' afterEpoch
+// filter skips.
+type Store interface {
+	// LoadSnapshot reads and decodes the current snapshot, or
+	// ErrNoSnapshot when none exists.
+	LoadSnapshot() (*core.SnapshotState, error)
+	// WriteSnapshot atomically replaces the snapshot with st and resets
+	// the update log (records at epochs ≤ st.Epoch are superseded).
+	WriteSnapshot(st *core.SnapshotState) error
+	// AppendBatch durably appends one update batch tagged with the epoch
+	// the engine reached by applying it; it returns only after the
+	// record is committed (fsync).
+	AppendBatch(epoch uint64, updates []core.GraphUpdate) error
+	// ReplayBatches streams the logged batches with Epoch > afterEpoch,
+	// in log order, stopping at fn's first error. A torn or corrupt tail
+	// ends the stream silently: everything before it replays, the tail
+	// is discarded (it was never acknowledged, or the medium lost it).
+	ReplayBatches(afterEpoch uint64, fn func(LoggedBatch) error) error
+	// Stats reports the backend's size bookkeeping.
+	Stats() Stats
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// Stats is a Store's size and activity bookkeeping, served under
+// /metrics by rpqd.
+type Stats struct {
+	// SnapshotBytes / SnapshotEpoch describe the current snapshot file
+	// (zero when none exists).
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	// SnapshotsWritten counts WriteSnapshot calls by this process.
+	SnapshotsWritten int `json:"snapshots_written"`
+	// WALRecords / WALBytes describe the current log tail (records since
+	// the last snapshot rotation).
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/graph"
+)
+
+// WAL record framing:
+//
+//	u32  payload length
+//	u32  CRC-32C (Castagnoli) of the payload
+//	payload: u64 epoch, u32 update count, then per update
+//	         u8 op (0 insert, 1 delete), u32 src, u32 dst, str label
+//
+// A record is committed iff its frame is whole and its CRC matches; the
+// scanner stops at the first record that is torn (short frame), corrupt
+// (CRC mismatch) or malformed (undecodable payload), and reports how
+// many bytes of clean prefix precede it — the durable portion of the
+// log. Anything after that point was never acknowledged to a client, so
+// discarding it is correct, not lossy.
+
+const walOpDelete = 1
+
+func encodeBatch(epoch uint64, updates []core.GraphUpdate) []byte {
+	p := &encoder{}
+	p.u64(epoch)
+	p.u32(uint32(len(updates)))
+	for _, u := range updates {
+		var op uint8
+		if u.Op == core.OpDeleteEdge {
+			op = walOpDelete
+		}
+		p.u8(op)
+		p.u32(uint32(u.Src))
+		p.u32(uint32(u.Dst))
+		p.str(u.Label)
+	}
+	f := &encoder{buf: make([]byte, 0, 8+len(p.buf))}
+	f.u32(uint32(len(p.buf)))
+	f.u32(crc32.Checksum(p.buf, castagnoli))
+	f.buf = append(f.buf, p.buf...)
+	return f.buf
+}
+
+func decodeBatch(payload []byte) (LoggedBatch, error) {
+	d := &decoder{buf: payload}
+	b := LoggedBatch{Epoch: d.u64()}
+	count := d.count(13) // u8 op + u32 src + u32 dst + u32 label len
+	b.Updates = make([]core.GraphUpdate, 0, count)
+	for i := 0; i < count && d.err == nil; i++ {
+		op := d.u8()
+		src := graph.VID(d.u32())
+		dst := graph.VID(d.u32())
+		label := d.str()
+		if d.err != nil {
+			break
+		}
+		u := core.GraphUpdate{Src: src, Label: label, Dst: dst}
+		switch op {
+		case 0:
+			u.Op = core.OpInsertEdge
+		case walOpDelete:
+			u.Op = core.OpDeleteEdge
+		default:
+			return LoggedBatch{}, fmt.Errorf("store: wal update %d: unknown op %d", i, op)
+		}
+		b.Updates = append(b.Updates, u)
+	}
+	if d.err != nil {
+		return LoggedBatch{}, d.err
+	}
+	if d.remaining() != 0 {
+		return LoggedBatch{}, fmt.Errorf("store: wal record: %d trailing payload bytes", d.remaining())
+	}
+	return b, nil
+}
+
+// scanWAL walks the log from the front, returning every committed batch
+// and the byte length of the clean prefix that holds them. The tail
+// beyond validLen — if any — is torn or corrupt and should be truncated
+// away before appending resumes.
+func scanWAL(data []byte) (batches []LoggedBatch, validLen int64) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return batches, int64(off)
+		}
+		d := &decoder{buf: data, off: off}
+		payloadLen := int(d.u32())
+		crc := d.u32()
+		if payloadLen < 0 || payloadLen > d.remaining() {
+			return batches, int64(off)
+		}
+		payload := data[d.off : d.off+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return batches, int64(off)
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return batches, int64(off)
+		}
+		batches = append(batches, b)
+		off = d.off + payloadLen
+	}
+}

@@ -1,0 +1,46 @@
+package tc
+
+import (
+	"fmt"
+
+	"rtcshare/internal/graph"
+)
+
+// CSR flattens the closure into raw CSR columns: the successors of u
+// are targets[offsets[u]:offsets[u+1]], sorted ascending. Rows that
+// alias each other in memory (expand gives every member of an SCC the
+// same successor slice) are written out expanded; the aliasing is a
+// memory optimisation, not part of the closure's value. The returned
+// slices are freshly allocated.
+func (c *Closure) CSR() (offsets []int32, targets []graph.VID) {
+	offsets = make([]int32, c.numVertices+1)
+	targets = make([]graph.VID, 0, c.numPairs)
+	for u := 0; u < c.numVertices; u++ {
+		targets = append(targets, c.succ[u]...)
+		offsets[u+1] = int32(len(targets))
+	}
+	return offsets, targets
+}
+
+// ClosureFromCSR rebuilds a Closure from raw CSR columns, validating
+// them first (offsets monotone and spanning targets, runs strictly
+// increasing, targets in range) so columns arriving from disk can never
+// index out of range or break the binary searches. Each successor row
+// aliases the single targets slab — the whole closure loads as two flat
+// slices plus one row-slicing pass, no per-row allocation.
+func ClosureFromCSR(numVertices int, offsets []int32, targets []graph.VID) (*Closure, error) {
+	if err := graph.ValidateCSR(numVertices, numVertices, offsets, targets, true); err != nil {
+		return nil, fmt.Errorf("tc: closure CSR: %w", err)
+	}
+	c := &Closure{
+		numVertices: numVertices,
+		succ:        make([][]graph.VID, numVertices),
+		numPairs:    len(targets),
+	}
+	for u := 0; u < numVertices; u++ {
+		if row := targets[offsets[u]:offsets[u+1]]; len(row) > 0 {
+			c.succ[u] = row
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,40 @@
+package tc
+
+import (
+	"testing"
+
+	"rtcshare/internal/graph"
+)
+
+func TestClosureCSRRoundTrip(t *testing.T) {
+	b := graph.NewDiBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 1)
+	c := BFS(b.Build())
+
+	offsets, targets := c.CSR()
+	got, err := ClosureFromCSR(c.NumVertices(), offsets, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != c.NumVertices() || got.NumPairs() != c.NumPairs() {
+		t.Fatalf("round trip: %d/%d vertices, %d/%d pairs",
+			got.NumVertices(), c.NumVertices(), got.NumPairs(), c.NumPairs())
+	}
+	for u := graph.VID(0); u < 5; u++ {
+		for w := graph.VID(0); w < 5; w++ {
+			if got.Reachable(u, w) != c.Reachable(u, w) {
+				t.Errorf("Reachable(%d,%d) differs after reassembly", u, w)
+			}
+		}
+	}
+
+	// Malformed columns never assemble.
+	if _, err := ClosureFromCSR(5, offsets[:2], targets); err == nil {
+		t.Error("truncated offsets accepted")
+	}
+	if _, err := ClosureFromCSR(2, []int32{0, 1, 1}, []graph.VID{5}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"rtcshare/internal/rpq"
 	"rtcshare/internal/rtc"
 	"rtcshare/internal/server"
+	"rtcshare/internal/store"
 )
 
 // VID identifies a vertex: dense integers in [0, NumVertices).
@@ -395,3 +396,64 @@ type RMATConfig = datagen.RMATConfig
 // GenerateRMAT draws a random edge-labeled multigraph from the RMAT
 // distribution; see RMATConfig.
 func GenerateRMAT(cfg RMATConfig) (*Graph, error) { return datagen.RMAT(cfg) }
+
+// Store is a persistence backend for engine state: one snapshot slot
+// (the full engine state at one graph epoch, closures included) plus an
+// append-only, CRC-framed log of update batches. OpenStore returns the
+// file-directory implementation; the interface keeps other backends
+// pluggable.
+type Store = store.Store
+
+// StoreStats is a Store's size and activity bookkeeping: snapshot bytes
+// and epoch, snapshots written, and the update-log record/byte counts
+// since the last rotation. Served under /metrics when rpqd runs with
+// -data.
+type StoreStats = store.Stats
+
+// PersistentEngine wraps an Engine so every effective update batch is
+// durably logged (fsync) before ApplyUpdates returns, with snapshot
+// compaction on demand (Snapshot) or automatically every N batches.
+// Reads are the embedded Engine's own methods. Create one with
+// OpenEngine.
+type PersistentEngine = store.Persistent
+
+// PersistOptions configures a PersistentEngine's automatic snapshot
+// compaction.
+type PersistOptions = store.Options
+
+// RecoveryInfo describes how a PersistentEngine reached its boot state:
+// whether a snapshot was restored (and from which epoch), how many
+// logged batches were replayed on top, how many cached closure
+// structures came back warm, and the recovery wall-clock.
+type RecoveryInfo = store.RecoveryInfo
+
+// SnapshotInfo describes one written snapshot: the epoch it pinned, its
+// size, and how many cached structures it carries. It is the
+// POST /admin/snapshot response body.
+type SnapshotInfo = store.SnapshotInfo
+
+// PersistInfo is the persistence section of rpqd's /metrics: the store's
+// bookkeeping, the automatic-snapshot position, and the RecoveryInfo of
+// the boot.
+type PersistInfo = store.PersistInfo
+
+// ErrNoSnapshot is returned by Store.LoadSnapshot when the backend holds
+// no snapshot yet — the cold-boot signal, distinct from a corrupt
+// snapshot (a real error).
+var ErrNoSnapshot = store.ErrNoSnapshot
+
+// OpenStore opens (creating if needed) a file-directory Store rooted at
+// dir: snapshot.bin plus wal.log, written with atomic rename + fsync. A
+// torn log tail left by a crash is repaired on open.
+func OpenStore(dir string) (Store, error) { return store.OpenDir(dir) }
+
+// OpenEngine boots a PersistentEngine from s. With a resident snapshot,
+// the engine restores the graph, epoch and cached closure structures
+// from it and replays the update-log tail through the normal update
+// path — recovered state is identical to never having stopped, and the
+// first queries hit the restored structures instead of recomputing
+// them. With an empty store this is a cold boot: seed must be non-nil
+// and an initial snapshot is written to anchor the log.
+func OpenEngine(s Store, seed *Graph, opts Options, popts PersistOptions) (*PersistentEngine, RecoveryInfo, error) {
+	return store.Open(s, seed, opts, popts)
+}
