@@ -7,21 +7,24 @@
 //	rpqbench -experiment layout            # map-set vs columnar, bfs vs bitset
 //	rpqbench -experiment updates           # incremental maintenance vs rebuild
 //	rpqbench -experiment serve             # HTTP batch coalescing on vs off
+//	rpqbench -experiment latency           # open-loop tail latency, fixed vs adaptive
 //	rpqbench -experiment all               # everything (minutes)
 //	rpqbench -experiment all -paper        # the paper's full protocol (hours)
 //	rpqbench -experiment planner -json out.json   # structured report
-//	rpqbench -list                         # show the experiment registry
+//	rpqbench -experiment list              # show the experiment registry (same as -list)
 //
 // Scale knobs (-scale, -sets, -rpqs, …) trade fidelity for time; the
 // default configuration reproduces every trend in minutes on a laptop.
 // The committed BENCH_*.json files record the baselines; DESIGN.md
-// discusses each experiment's findings.
+// discusses each experiment's findings. The latency experiment takes
+// -rates (comma-separated offered rates in queries/second) and
+// -latency-requests (arrivals per leg).
 //
 // -json writes a structured report (experiment id, config, per-row wall
 // times, B/op and allocs/op, shared-structure sizes, plan choices) for
-// experiments that support it (planner, layout, updates, fig16), so
-// BENCH_*.json artifacts form a machine-readable perf trajectory; CI
-// emits one per run.
+// experiments that support it (planner, layout, updates, serve, latency,
+// fig16), so BENCH_*.json artifacts form a machine-readable perf
+// trajectory; CI emits one per run.
 package main
 
 import (
@@ -29,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"rtcshare/internal/bench"
 	"rtcshare/internal/cli"
@@ -52,13 +57,15 @@ func run(args []string) error {
 		verify     = fs.Bool("verify", false, "cross-check result counts across strategies")
 		workers    = fs.Int("workers", 0, "override the largest worker fan-out of the parallel sweep (fig16)")
 		clients    = fs.Int("clients", 0, "override the closed-loop client count of the serve experiment")
-		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, serve, fig16)")
+		rates      = fs.String("rates", "", "comma-separated offered rates (qps) for the latency experiment")
+		latencyReq = fs.Int("latency-requests", 0, "override the arrivals per latency-experiment leg")
+		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, serve, latency, fig16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *list {
+	if *list || *experiment == "list" {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
@@ -93,6 +100,18 @@ func run(args []string) error {
 	if *clients > 0 {
 		cfg.Clients = *clients
 	}
+	if *rates != "" {
+		for _, part := range strings.Split(*rates, ",") {
+			r, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if perr != nil {
+				return fmt.Errorf("-rates: %q is not a number", part)
+			}
+			cfg.Rates = append(cfg.Rates, r)
+		}
+	}
+	if *latencyReq > 0 {
+		cfg.LatencyRequests = *latencyReq
+	}
 	cfg.Verify = cfg.Verify || *verify
 
 	if *experiment == "all" {
@@ -103,14 +122,18 @@ func run(args []string) error {
 	}
 	e, ok := bench.Lookup(*experiment)
 	if !ok {
-		return fmt.Errorf("unknown experiment %q; try -list", *experiment)
+		ids := make([]string, 0, len(bench.Experiments()))
+		for _, reg := range bench.Experiments() {
+			ids = append(ids, reg.ID)
+		}
+		return fmt.Errorf("unknown experiment %q; valid: %s (or 'all')", *experiment, strings.Join(ids, ", "))
 	}
 	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
 	if *jsonPath == "" {
 		return e.Run(os.Stdout, cfg)
 	}
 	if e.JSON == nil {
-		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates, serve and fig16", e.ID)
+		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates, serve, latency and fig16", e.ID)
 	}
 	report, err := e.JSON(os.Stdout, cfg)
 	if err != nil {

@@ -4,13 +4,34 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"rtcshare/internal/cli"
+	"strings"
 	"testing"
+
+	"rtcshare/internal/cli"
 )
 
 func TestList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+	// -experiment list is the same registry listing, for people who
+	// guess the spelling.
+	if err := run([]string{"-experiment", "list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownExperimentListsIDs: the error for a bad id names the valid
+// experiments instead of just pointing at -list.
+func TestUnknownExperimentListsIDs(t *testing.T) {
+	err := run([]string{"-experiment", "bogus"})
+	if err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+	for _, id := range []string{"latency", "serve", "planner", "fig10a"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list experiment %q", err, id)
+		}
 	}
 }
 
@@ -63,6 +84,9 @@ func TestRunErrors(t *testing.T) {
 		{"-experiment", "table4", "-json", "x.json"}, // no structured report
 		{"-experiment", "planner", "-scale", "6", "-maxn", "1", "-sets", "1",
 			"-json", "/nonexistent-dir/x.json"}, // unwritable path
+		{"-experiment", "latency", "-rates", "80,abc"},            // unparsable rate
+		{"-experiment", "latency", "-rates", "-5"},                // out-of-range rate
+		{"-experiment", "latency", "-latency-requests", "200000"}, // over the config cap
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {

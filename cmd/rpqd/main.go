@@ -9,6 +9,7 @@
 //	rpqd -graph g.txt -no-coalesce          # per-request evaluation baseline
 //	rpqd -graph g.txt -data ./state         # durable: WAL every update batch
 //	rpqd -data ./state                      # restart from the stored snapshot
+//	rpqd -demo -pprof :6060                 # also serve net/http/pprof on loopback
 //
 // Endpoints:
 //
@@ -31,12 +32,19 @@
 // -graph.
 //
 // Concurrent /query requests landing within one coalescing window
-// (-window, default 2ms, sealed early at -max-batch distinct queries)
-// are deduplicated and evaluated as one engine batch, so they share
-// closure structures and describe one graph epoch; /update advances the
-// epoch without ever mixing versions inside a batch. SIGINT/SIGTERM
-// shut down gracefully: in-flight requests and the pending window
-// finish first.
+// (-window, sealed early at -max-batch distinct queries) are
+// deduplicated and evaluated as one engine batch, so they share closure
+// structures and describe one graph epoch; /update advances the epoch
+// without ever mixing versions inside a batch. The default window is
+// adaptive: it tracks the arrival rate and batch occupancy between
+// -min-window and -max-window; pass -window 2ms for a fixed window.
+// Planner-cheap queries additionally bypass the window on a reserved
+// fast-lane slot unless -no-fastlane is set. SIGINT/SIGTERM shut down
+// gracefully: in-flight requests and the pending window finish first.
+//
+// -pprof serves net/http/pprof on a separate listener. Bare ":port"
+// addresses are bound to 127.0.0.1 so profiles are never exposed
+// off-host by default.
 package main
 
 import (
@@ -45,8 +53,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,7 +80,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		demo        = fs.Bool("demo", false, "serve the paper's Fig. 1 example graph instead of -graph")
 		strategy    = fs.String("strategy", "rtc", "evaluation strategy: rtc, full or no")
 		planner     = fs.String("planner", "heuristic", "clause planner: heuristic or cost")
-		window      = fs.Duration("window", 2*time.Millisecond, "coalescing window")
+		window      = fs.Duration("window", 0, "coalescing window (0 = adaptive between -min-window and -max-window)")
+		minWindow   = fs.Duration("min-window", 100*time.Microsecond, "adaptive window lower bound")
+		maxWindow   = fs.Duration("max-window", 4*time.Millisecond, "adaptive window upper bound")
+		noFastLane  = fs.Bool("no-fastlane", false, "disable the planner-cheap fast lane")
 		maxBatch    = fs.Int("max-batch", 64, "seal a batch at this many distinct queries")
 		workers     = fs.Int("workers", 0, "batch evaluation fan-out (0 = GOMAXPROCS)")
 		maxInFlight = fs.Int("max-inflight", 1, "batches evaluating concurrently")
@@ -78,6 +92,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		noCoalesce  = fs.Bool("no-coalesce", false, "evaluate each request immediately (baseline)")
 		dataDir     = fs.String("data", "", "persistence directory (snapshot + update log); a resident snapshot wins over -graph")
 		snapEvery   = fs.Int("snapshot-every", 0, "with -data, also snapshot every N effective update batches (0 = only on shutdown and /admin/snapshot)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this extra address (\":port\" binds 127.0.0.1; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +174,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	opts := rtcshare.ServerOptions{
 		Persist:           persist,
 		Window:            *window,
+		MinWindow:         *minWindow,
+		MaxWindow:         *maxWindow,
+		DisableFastLane:   *noFastLane,
 		MaxBatch:          *maxBatch,
 		Workers:           *workers,
 		MaxInFlight:       *maxInFlight,
@@ -171,8 +189,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		pl, perr := listenPprof(*pprofAddr)
+		if perr != nil {
+			l.Close()
+			return perr
+		}
+		defer pl.Close()
+		fmt.Fprintf(out, "rpqd: pprof on http://%s/debug/pprof/\n", pl.Addr())
+	}
 	fmt.Fprintf(out, "rpqd: graph %s\n", engine.Graph().Stats())
-	fmt.Fprintf(out, "rpqd: serving on http://%s (window %v, max-batch %d)\n", l.Addr(), *window, *maxBatch)
+	windowDesc := fmt.Sprintf("window %v", *window)
+	if *window == 0 {
+		windowDesc = fmt.Sprintf("window adaptive [%v, %v]", *minWindow, *maxWindow)
+	}
+	fmt.Fprintf(out, "rpqd: serving on http://%s (%s, max-batch %d)\n", l.Addr(), windowDesc, *maxBatch)
 	err = rtcshare.ServeListener(ctx, l, engine, opts)
 	if persist != nil {
 		// Graceful shutdown: compact the log into a final snapshot so the
@@ -190,4 +221,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return err
+}
+
+// listenPprof starts the net/http/pprof endpoints on their own listener
+// and mux, so profiling never shares a port (or a handler table) with
+// the query service. A bare ":port" address is bound to 127.0.0.1; to
+// expose profiles beyond the host, spell out the interface explicitly.
+// Closing the returned listener stops the serving goroutine.
+func listenPprof(addr string) (net.Listener, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(l, mux) //nolint:errcheck // exits when the listener closes
+	return l, nil
 }

@@ -42,6 +42,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-demo", "-strategy", "bogus"},     // bad strategy
 		{"-demo", "-planner", "bogus"},      // bad planner
 		{"-demo", "-addr", "not-an-addr:x"}, // unbindable address
+		{"-demo", "-addr", "127.0.0.1:0", "-pprof", "not-an-addr:x"}, // unbindable pprof address
 	} {
 		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v): expected error", args)
@@ -139,6 +140,86 @@ func TestRunDemoGraph(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "|V|=10") {
 		t.Fatalf("demo graph is not Fig. 1: %q", out.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestRunAdaptiveBootLine: with the default -window 0 the boot line
+// advertises the adaptive range instead of a fixed duration.
+func TestRunAdaptiveBootLine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-demo", "-addr", "127.0.0.1:0", "-min-window", "200µs", "-max-window", "3ms"}, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "serving on") {
+		select {
+		case err := <-done:
+			t.Fatalf("rpqd exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "window adaptive [200µs, 3ms]") {
+		t.Fatalf("boot line does not advertise the adaptive window: %q", out.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestRunPprof: -pprof serves the profile index on its own loopback
+// listener, and a bare ":port" never binds beyond 127.0.0.1.
+func TestRunPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-demo", "-addr", "127.0.0.1:0", "-pprof", ":0"}, out)
+	}()
+	pprofRe := regexp.MustCompile(`pprof on http://([^/]+)/`)
+	var pprofBase string
+	deadline := time.Now().Add(10 * time.Second)
+	for pprofBase == "" || !strings.Contains(out.String(), "serving on") {
+		if m := pprofRe.FindStringSubmatch(out.String()); m != nil && strings.Contains(out.String(), "serving on") {
+			pprofBase = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("rpqd exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof listener never reported: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(pprofBase, "127.0.0.1") {
+		t.Fatalf("bare :port bound %q, want loopback", pprofBase)
+	}
+	resp, err := http.Get(pprofBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %q", resp.StatusCode, string(body)[:min(len(body), 200)])
 	}
 	cancel()
 	if err := <-done; err != nil {

@@ -94,10 +94,13 @@ func serveIt(g *rtcshare.Graph) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		// The same server `rpqd -demo` runs; a 5ms window so the whole
-		// burst below lands in one batch.
+		// The same server `rpqd -demo` runs; a fixed 5ms window so the
+		// whole burst below lands in one batch. The fast lane is off
+		// because every Fig. 1 query is planner-cheap — with the default
+		// options all four would bypass the window, which is the right
+		// production behavior but the wrong demo of coalescing.
 		done <- rtcshare.ServeListener(ctx, l, rtcshare.NewEngine(g, rtcshare.Options{}),
-			rtcshare.ServerOptions{Window: 5 * time.Millisecond})
+			rtcshare.ServerOptions{Window: 5 * time.Millisecond, DisableFastLane: true})
 	}()
 
 	// Four "users" fire concurrently: two ask the Example 1 query, two

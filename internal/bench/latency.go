@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/server"
+)
+
+// This file measures the serving layer's tail latency (beyond the
+// paper): an OPEN-loop benchmark — requests fire on a deterministic
+// Poisson arrival schedule at a fixed offered rate, whether or not
+// earlier requests finished, which is what exposes queueing delay that
+// a closed loop (serve.go) hides by self-throttling. Four legs per
+// rate ablate the two serving-latency features:
+//
+//	window=fixed (2ms)   × fastlane off — the pre-adaptive baseline
+//	window=fixed (2ms)   × fastlane on
+//	window=adaptive      × fastlane off
+//	window=adaptive      × fastlane on  — the full configuration
+//
+// A live single-label ingest stream advances the epoch during every
+// leg, so result memos keep churning and the fast lane's sunk-cost
+// admission (structures warm, memo cold) actually fires. Two gates
+// make the rows trustworthy: the shared serveIdentity phase (HTTP
+// results equal serial evaluation pair for pair) and CrossEpochHits,
+// both enforced as errors rather than reported.
+
+// Latency-experiment shape constants.
+const (
+	latencyDefaultRequests = 480
+	latencyUpdateEvery     = 96 // arrivals per ingest batch
+	latencyFixedWindow     = 2 * time.Millisecond
+	latencyMinWindow       = 100 * time.Microsecond
+	latencyMaxWindow       = 4 * time.Millisecond
+)
+
+// latencyDefaultRates is the default offered-rate sweep: one rate
+// where windows rarely find company (adaptivity should drop to the
+// minimum window and win) and one where they do (the window should
+// stretch and batch).
+func latencyDefaultRates() []float64 { return []float64{100, 1600} }
+
+// LatencyRow is one (offered rate, leg) measurement.
+type LatencyRow struct {
+	Dataset string `json:"dataset"`
+	// WindowMode is "fixed" or "adaptive"; FastLane reports whether the
+	// priority fast lane was enabled for the leg.
+	WindowMode string `json:"window_mode"`
+	FastLane   bool   `json:"fast_lane"`
+	// OfferedQPS is the Poisson arrival rate; AchievedQPS is Requests
+	// over the leg's wall time (an overloaded leg achieves less).
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Requests    int     `json:"requests"`
+	// UpdateRounds is the number of ingest batches applied mid-leg.
+	UpdateRounds int `json:"update_rounds"`
+
+	// Client-observed request latency quantiles, in milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	// Serving-path split of the leg, from the server's own counters.
+	FastPathHits int64 `json:"fast_path_hits"`
+	FastLaneHits int64 `json:"fast_lane_hits"`
+	Batches      int64 `json:"batches"`
+	DedupHits    int64 `json:"dedup_hits"`
+}
+
+// LatencySweep is the full latency-experiment measurement.
+type LatencySweep struct {
+	Config RunConfig `json:"config"`
+	// Identical reports the untimed identity gate (also enforced as an
+	// error when false).
+	Identical bool         `json:"identical"`
+	Rows      []LatencyRow `json:"rows"`
+}
+
+// latencyLeg describes one ablation cell.
+type latencyLeg struct {
+	name     string
+	window   time.Duration // 0 = adaptive
+	fastLane bool
+}
+
+func latencyLegs() []latencyLeg {
+	return []latencyLeg{
+		{name: "fixed", window: latencyFixedWindow, fastLane: false},
+		{name: "fixed+lane", window: latencyFixedWindow, fastLane: true},
+		{name: "adaptive", window: 0, fastLane: false},
+		{name: "adaptive+lane", window: 0, fastLane: true},
+	}
+}
+
+// poissonGaps pre-computes n deterministic exponential inter-arrival
+// gaps at rate qps: gap_i = -ln(U_i)/rate with U_i from a fixed LCG, so
+// every leg of a rate replays the identical arrival schedule.
+func poissonGaps(n int, qps float64, seed int64) []time.Duration {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	gaps := make([]time.Duration, n)
+	mean := float64(time.Second) / qps
+	for i := range gaps {
+		state = state*6364136223846793005 + 1442695040888963407
+		// 53 uniform bits in (0, 1]: never zero, so the log is finite.
+		u := (float64(state>>11) + 1) / (1 << 53)
+		gaps[i] = time.Duration(-math.Log(u) * mean)
+	}
+	return gaps
+}
+
+// runLatencyLeg fires one open-loop leg: requests on the given arrival
+// schedule against a fresh server over g, the ingest script applied
+// every latencyUpdateEvery arrivals. It returns the client-observed
+// latencies (one per request, arrival order) and the final metrics.
+func runLatencyLeg(g *graph.Graph, pool []string, script [][]core.GraphUpdate, gaps []time.Duration, leg latencyLeg) ([]time.Duration, server.Metrics, error) {
+	engine := core.New(g, core.Options{})
+	srv := server.New(engine, server.Options{
+		Window:          leg.window,
+		MinWindow:       latencyMinWindow,
+		MaxWindow:       latencyMaxWindow,
+		MaxBatch:        serveMaxBatch,
+		Workers:         2,
+		DisableFastLane: !leg.fastLane,
+	})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	latencies := make([]time.Duration, len(gaps))
+	errs := make([]error, len(gaps))
+	var wg sync.WaitGroup
+	scriptAt := 0
+	next := time.Now()
+	for i, gap := range gaps {
+		next = next.Add(gap)
+		time.Sleep(time.Until(next))
+		// The ingest stream rides the arrival clock: epoch churn happens
+		// while requests are in flight, like production ingest would.
+		if i > 0 && i%latencyUpdateEvery == 0 && scriptAt < len(script) {
+			batch := script[scriptAt]
+			scriptAt++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := engine.ApplyUpdates(batch); err != nil {
+					panic(fmt.Sprintf("bench: latency ingest: %v", err))
+				}
+			}()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := pool[i%len(pool)]
+			body, _ := json.Marshal(server.QueryRequest{Query: q, Limit: 32})
+			start := time.Now()
+			resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = fmt.Errorf("request %d (%s): %w", i, q, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("request %d (%s): status %d", i, q, resp.StatusCode)
+				return
+			}
+			latencies[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, server.Metrics{}, err
+		}
+	}
+	return latencies, srv.MetricsSnapshot(), nil
+}
+
+// latencyQuantile returns the q-quantile of sorted by nearest rank
+// (index ⌈q·n⌉−1).
+func latencyQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunLatencyExperiment runs the open-loop tail-latency ablation.
+func RunLatencyExperiment(cfg RunConfig) (*LatencySweep, error) {
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	rates := cfg.Rates
+	if len(rates) == 0 {
+		rates = latencyDefaultRates()
+	}
+	requests := cfg.LatencyRequests
+	if requests <= 0 {
+		requests = latencyDefaultRequests
+	}
+
+	n := 3
+	if n > cfg.MaxN {
+		n = cfg.MaxN
+	}
+	g, err := datagen.PaperRMATN(n, cfg.ScaleExp, cfg.Seed+int64(n))
+	if err != nil {
+		return nil, err
+	}
+	dataset := fmt.Sprintf("RMAT_%d", n)
+
+	pool, err := servePool(g, cfg, plannerFamily{name: "paper", preLen: 1, postLen: 1})
+	if err != nil {
+		return nil, err
+	}
+	rounds := (requests - 1) / latencyUpdateEvery
+	script := serveScript(g, rounds, cfg.Seed+77)
+
+	identical, err := serveIdentity(g, pool, 8)
+	if err != nil {
+		return nil, fmt.Errorf("bench: latency identity: %w", err)
+	}
+	if !identical {
+		return nil, fmt.Errorf("bench: latency identity: HTTP results differ from serial evaluation")
+	}
+
+	sweep := &LatencySweep{Config: cfg, Identical: identical}
+	for ri, rate := range rates {
+		gaps := poissonGaps(requests, rate, cfg.Seed+int64(1000*ri))
+		var wall time.Duration
+		for _, g2 := range gaps {
+			wall += g2
+		}
+		for _, leg := range latencyLegs() {
+			lats, metrics, err := runLatencyLeg(g, pool, script, gaps, leg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: latency %s @%gqps: %w", leg.name, rate, err)
+			}
+			if metrics.Cache.CrossEpochHits != 0 {
+				return nil, fmt.Errorf("bench: latency %s @%gqps: %d cross-epoch hits (want 0)",
+					leg.name, rate, metrics.Cache.CrossEpochHits)
+			}
+			sorted := append([]time.Duration(nil), lats...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			var sum time.Duration
+			for _, l := range sorted {
+				sum += l
+			}
+			mode := "adaptive"
+			if leg.window > 0 {
+				mode = "fixed"
+			}
+			row := LatencyRow{
+				Dataset:      dataset,
+				WindowMode:   mode,
+				FastLane:     leg.fastLane,
+				OfferedQPS:   rate,
+				Requests:     requests,
+				UpdateRounds: rounds,
+				P50MS:        float64(latencyQuantile(sorted, 0.50)) / float64(time.Millisecond),
+				P90MS:        float64(latencyQuantile(sorted, 0.90)) / float64(time.Millisecond),
+				P99MS:        float64(latencyQuantile(sorted, 0.99)) / float64(time.Millisecond),
+				MaxMS:        float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+				MeanMS:       float64(sum) / float64(len(sorted)) / float64(time.Millisecond),
+				FastPathHits: metrics.Coalescer.FastPathHits,
+				FastLaneHits: metrics.Coalescer.FastLaneHits,
+				Batches:      metrics.Coalescer.Batches,
+				DedupHits:    metrics.Coalescer.DedupHits,
+			}
+			if wall > 0 {
+				row.AchievedQPS = float64(requests) / wall.Seconds()
+			}
+			sweep.Rows = append(sweep.Rows, row)
+		}
+	}
+	return sweep, nil
+}
+
+// RenderLatency prints the open-loop ablation table.
+func (ls *LatencySweep) RenderLatency(w io.Writer) {
+	fmt.Fprintf(w, "Latency experiment (beyond the paper): open-loop Poisson arrivals, fixed vs adaptive window × fast lane on/off\n")
+	fmt.Fprintf(w, "%-8s %-10s %-5s %9s %9s %8s %8s %8s %8s %6s %6s %8s\n",
+		"dataset", "window", "lane", "offered", "p50", "p90", "p99", "max", "mean", "lane#", "memo#", "batches")
+	for _, r := range ls.Rows {
+		lane := "off"
+		if r.FastLane {
+			lane = "on"
+		}
+		fmt.Fprintf(w, "%-8s %-10s %-5s %7.0f/s %6.3f ms %5.3f ms %5.3f ms %5.3f ms %5.3f ms %6d %6d %8d\n",
+			r.Dataset, r.WindowMode, lane, r.OfferedQPS,
+			r.P50MS, r.P90MS, r.P99MS, r.MaxMS, r.MeanMS,
+			r.FastLaneHits, r.FastPathHits, r.Batches)
+	}
+}

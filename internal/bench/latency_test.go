@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPoissonGaps: the schedule is deterministic, positive, and its
+// mean sits near the offered rate's inter-arrival time.
+func TestPoissonGaps(t *testing.T) {
+	a := poissonGaps(2000, 1000, 7)
+	b := poissonGaps(2000, 1000, 7)
+	var sum time.Duration
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("poissonGaps is not deterministic for a fixed seed")
+		}
+		if a[i] < 0 {
+			t.Fatalf("negative gap %v", a[i])
+		}
+		sum += a[i]
+	}
+	mean := float64(sum) / float64(len(a))
+	want := float64(time.Millisecond) // 1000 qps
+	if mean < 0.85*want || mean > 1.15*want {
+		t.Fatalf("mean gap %.0fns, want ~%.0fns", mean, want)
+	}
+	if poissonGaps(10, 1000, 8)[0] == a[0] {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+// TestLatencyQuantile: nearest-rank on a known slice.
+func TestLatencyQuantile(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if q := latencyQuantile(sorted, 0.50); q != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := latencyQuantile(sorted, 0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := latencyQuantile(sorted, 1); q != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", q)
+	}
+	if q := latencyQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+// TestLatencyExperimentSmoke runs the open-loop experiment at a tiny
+// scale and rate: the identity and cross-epoch gates are enforced as
+// errors inside the run, so reaching rows at all means they held.
+func TestLatencyExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop HTTP experiment skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 3
+	cfg.NumSets = 1
+	cfg.NumRPQs = 2
+	cfg.Rates = []float64{800}
+	cfg.LatencyRequests = 120
+
+	ls, err := RunLatencyExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Identical {
+		t.Fatal("identity gate reported false without erroring")
+	}
+	if len(ls.Rows) != 4 {
+		t.Fatalf("expected 4 rows (1 rate × 4 legs), got %d", len(ls.Rows))
+	}
+	var sawLaneHits bool
+	for _, r := range ls.Rows {
+		if r.Requests != 120 || r.OfferedQPS != 800 {
+			t.Errorf("row shape off: %+v", r)
+		}
+		if r.P50MS < 0 || r.P99MS < r.P50MS || r.MaxMS < r.P99MS {
+			t.Errorf("quantiles inconsistent: %+v", r)
+		}
+		if !r.FastLane && r.FastLaneHits != 0 {
+			t.Errorf("lane-off leg recorded lane hits: %+v", r)
+		}
+		if r.FastLane && r.FastLaneHits > 0 {
+			sawLaneHits = true
+		}
+	}
+	if !sawLaneHits {
+		t.Error("no lane-on leg ever used the fast lane")
+	}
+
+	var rendered strings.Builder
+	ls.RenderLatency(&rendered)
+	if !strings.Contains(rendered.String(), "Latency experiment") {
+		t.Fatalf("RenderLatency produced no header: %q", rendered.String())
+	}
+}
+
+// TestLatencyRegistry: the latency experiment is listed with a JSON
+// adapter of the right report type.
+func TestLatencyRegistry(t *testing.T) {
+	e, ok := Lookup("latency")
+	if !ok || e.JSON == nil || e.Run == nil {
+		t.Fatal("latency experiment not registered with Run and JSON")
+	}
+	if testing.Short() {
+		t.Skip("open-loop HTTP experiment skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 1
+	cfg.NumSets = 1
+	cfg.NumRPQs = 2
+	cfg.Rates = []float64{1000}
+	cfg.LatencyRequests = 60
+	var out strings.Builder
+	report, err := e.JSON(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*LatencySweep); !ok {
+		t.Fatalf("latency JSON report has type %T", report)
+	}
+}

@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		{ID: "fig15a", Title: "Fig. 15(a): three-part split vs #RPQs, RMAT_3", Run: rpqSweep(true, (*RPQSweep).RenderFig15)},
 		{ID: "fig15b", Title: "Fig. 15(b): three-part split vs #RPQs, Advogato", Run: rpqSweep(false, (*RPQSweep).RenderFig15)},
 		{ID: "fig16", Title: "Fig. 16 (beyond the paper): parallel batch evaluation vs workers", Run: runParallel, JSON: jsonParallel},
+		{ID: "latency", Title: "Latency (beyond the paper): open-loop tail latency, fixed vs adaptive window × fast lane", Run: runLatency, JSON: jsonLatency},
 		{ID: "layout", Title: "Layout (beyond the paper): map-set vs columnar, bfs vs bitset closures", Run: runLayout, JSON: jsonLayout},
 		{ID: "persist", Title: "Persist (beyond the paper): cold-rebuild boot vs snapshot-restore boot", Run: runPersist, JSON: jsonPersist},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
@@ -131,6 +132,20 @@ func runUpdates(w io.Writer, cfg RunConfig) error {
 func runServe(w io.Writer, cfg RunConfig) error {
 	_, err := jsonServe(w, cfg)
 	return err
+}
+
+func runLatency(w io.Writer, cfg RunConfig) error {
+	_, err := jsonLatency(w, cfg)
+	return err
+}
+
+func jsonLatency(w io.Writer, cfg RunConfig) (any, error) {
+	ls, err := RunLatencyExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ls.RenderLatency(w)
+	return ls, nil
 }
 
 func jsonServe(w io.Writer, cfg RunConfig) (any, error) {

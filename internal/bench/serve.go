@@ -189,6 +189,11 @@ func runServeLeg(g *graph.Graph, pool []string, script [][]core.GraphUpdate, cli
 		MaxBatch:          serveMaxBatch,
 		Workers:           1,
 		DisableCoalescing: !coalesce,
+		// The serve experiment isolates the window's sharing effect; the
+		// fast lane would route cheap queries around the window and blur
+		// the coalesced-vs-direct comparison. The latency experiment is
+		// where the lane is measured.
+		DisableFastLane: true,
 	})
 	ts := httptest.NewServer(srv)
 	defer func() {

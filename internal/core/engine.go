@@ -220,10 +220,22 @@ type engineShared struct {
 	opts  Options
 	cache *SharedCache
 
-	// mu guards stats and summaries.
+	// mu guards stats, summaries and stages.
 	mu        sync.Mutex
 	stats     Stats
 	summaries map[string]SharedSummary
+
+	// stages, when non-nil, receives the per-stage breakdown of the
+	// evaluation running on this engine. It is only ever attached to
+	// private forks (one evaluation at a time), so each timer has a
+	// single writer; see StageTimer.
+	stages *StageTimer
+
+	// calib is the planner's cost recalibration state, fed by
+	// ExplainAnalyze cardinality error. The pointer is shared across
+	// Fork/forkVersion and survives graph updates, so observations from
+	// any worker recalibrate the whole engine family.
+	calib *plan.Calibration
 }
 
 // engineVersion is everything whose lifetime is bounded by one graph
@@ -315,6 +327,7 @@ func NewWithCache(g *graph.Graph, opts Options, cache *SharedCache) *Engine {
 			opts:      opts,
 			cache:     cache,
 			summaries: make(map[string]SharedSummary),
+			calib:     plan.NewCalibration(),
 		},
 	}
 	e.ver.Store(newEngineVersion(&e.engineShared, g, cache.CurrentEpoch()))
@@ -360,6 +373,7 @@ func (e *Engine) forkVersion(v *engineVersion) *Engine {
 			opts:      e.opts,
 			cache:     e.cache,
 			summaries: make(map[string]SharedSummary),
+			calib:     e.calib,
 		},
 	}
 	f.ver.Store(newEngineVersion(&f.engineShared, v.g, v.epoch))
@@ -506,6 +520,36 @@ func (e *Engine) CachedResult(q rpq.Expr) (*pairs.Relation, uint64, bool) {
 	return rel, v.epoch, true
 }
 
+// QueryCost plans q against the engine's current graph version and
+// returns the planner's calibrated cost estimate plus the admission
+// classification: cheap means the estimate sits below the planner's
+// deviation floor — the same threshold under which the cost-based
+// planner considers alternatives interchangeable — so the serving
+// layer can let the query bypass batching without risking a heavy
+// closure build on the reserved slot. Because the planner's
+// cached-structure probe treats already-built closures as sunk cost, a
+// memo-warm or structure-warm heavy query classifies cheap, which is
+// exactly the fast-lane admission rule.
+func (e *Engine) QueryCost(q rpq.Expr) (cost float64, cheap bool, err error) {
+	v := e.version()
+	clauses, err := rpq.ToDNFLimit(q, v.maxClauses())
+	if err != nil {
+		return 0, false, err
+	}
+	qp := v.planner().Plan(q, clauses)
+	for i := range qp.Clauses {
+		cost += qp.Clauses[i].Est.Cost
+	}
+	return cost, cost < v.planner().CheapCostBound(), nil
+}
+
+// CostCalibration returns the planner cost model's current
+// recalibration factor and the number of ExplainAnalyze observations
+// behind it. Factor 1 means uncalibrated (or perfectly estimated).
+func (e *Engine) CostCalibration() (factor float64, samples int) {
+	return e.calib.Factor(), e.calib.Samples()
+}
+
 // evaluateRel runs the EvaluateRel pipeline entirely against this
 // pinned version.
 func (v *engineVersion) evaluateRel(q rpq.Expr) (*pairs.Relation, error) {
@@ -570,22 +614,79 @@ func (e *Engine) EvalBatchUnitFullBackward(preG *pairs.Relation, closure *tc.Clo
 }
 
 // addShared, addPreJoin and addRemainder attribute elapsed time to the
-// three-part split under the stats lock.
+// three-part split under the stats lock; when a StageTimer is attached
+// they additionally attribute to the matching per-request stage
+// (closure-build, join, other). addPlan and addSeal are addRemainder
+// with a finer stage — planning and relation sealing still count as
+// Remainder in the paper's split, but the latency breakdown keeps them
+// apart.
 func (sh *engineShared) addShared(d time.Duration) {
 	sh.mu.Lock()
 	sh.stats.SharedData += d
+	if sh.stages != nil {
+		sh.stages.ClosureBuildNS += d.Nanoseconds()
+	}
 	sh.mu.Unlock()
 }
 
 func (sh *engineShared) addPreJoin(d time.Duration) {
 	sh.mu.Lock()
 	sh.stats.PreJoin += d
+	if sh.stages != nil {
+		sh.stages.JoinNS += d.Nanoseconds()
+	}
 	sh.mu.Unlock()
 }
 
 func (sh *engineShared) addRemainder(d time.Duration) {
 	sh.mu.Lock()
 	sh.stats.Remainder += d
+	if sh.stages != nil {
+		sh.stages.OtherNS += d.Nanoseconds()
+	}
+	sh.mu.Unlock()
+}
+
+func (sh *engineShared) addPlan(d time.Duration) {
+	sh.mu.Lock()
+	sh.stats.Remainder += d
+	if sh.stages != nil {
+		sh.stages.PlanNS += d.Nanoseconds()
+	}
+	sh.mu.Unlock()
+}
+
+func (sh *engineShared) addSeal(d time.Duration) {
+	sh.mu.Lock()
+	sh.stats.Remainder += d
+	if sh.stages != nil {
+		sh.stages.SealNS += d.Nanoseconds()
+	}
+	sh.mu.Unlock()
+}
+
+// stageClosureWait attributes time spent waiting on another
+// goroutine's in-flight closure computation (a singleflight hit) to
+// the closure-build stage of the waiter's request — without touching
+// Stats, where the computing engine already accounted the work. The
+// waiter's wall clock really did pass here, so the per-request
+// breakdown must see it even though the three-part split must not.
+func (sh *engineShared) stageClosureWait(d time.Duration) {
+	sh.mu.Lock()
+	if sh.stages != nil {
+		sh.stages.ClosureBuildNS += d.Nanoseconds()
+	}
+	sh.mu.Unlock()
+}
+
+// stageOtherWait is stageClosureWait for sub-relation memo boundaries:
+// wall time a waiter spent on a relation-region singleflight (or a
+// warm memo probe), attributed to Other without double-counting Stats.
+func (sh *engineShared) stageOtherWait(d time.Duration) {
+	sh.mu.Lock()
+	if sh.stages != nil {
+		sh.stages.OtherNS += d.Nanoseconds()
+	}
 	sh.mu.Unlock()
 }
 
@@ -643,6 +744,7 @@ func (v *engineVersion) planner() *plan.Planner {
 			Mode:          v.opts.Planner,
 			SharedCached:  v.sharedStructureCached,
 			ColumnarJoins: v.opts.Layout == LayoutColumnar,
+			Calibration:   v.calib,
 		})
 	})
 	return v.qplanner

@@ -147,6 +147,10 @@ func (e *Engine) ExplainAnalyze(q rpq.Expr) (*Plan, error) {
 		p.Clauses[i].ActualPostPairs = act.Post
 		p.Clauses[i].ActualPairs = act.Result
 		p.Clauses[i].ActualTime = act.Elapsed
+		// Measured cardinality error recalibrates the planner's absolute
+		// cost scale: every analyzed clause is one observation of how far
+		// the estimator's output prediction sat from reality.
+		e.calib.Observe(p.Clauses[i].EstOut, float64(act.Result))
 	}
 	return p, nil
 }

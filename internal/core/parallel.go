@@ -36,7 +36,7 @@ import (
 // single graph epoch (the -race update stress test asserts exactly
 // this).
 func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set, error) {
-	results, _, err := evalBatchPinned(e, qs, workers, (*Engine).Evaluate)
+	results, _, err := evalBatchPinned(e, qs, workers, nil, (*Engine).Evaluate)
 	return results, err
 }
 
@@ -48,7 +48,22 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 // stamps every response with the one epoch the batch guarantee already
 // provides — all results of one call describe a single graph version.
 func (e *Engine) EvaluateBatchParallelRel(qs []rpq.Expr, workers int) ([]*pairs.Relation, uint64, error) {
-	return evalBatchPinned(e, qs, workers, (*Engine).EvaluateRel)
+	return evalBatchPinned(e, qs, workers, nil, (*Engine).EvaluateRel)
+}
+
+// EvaluateBatchParallelRelTimed is EvaluateBatchParallelRel with
+// per-query stage attribution: timers[i], when non-nil, receives the
+// engine-side stage breakdown (plan / closure-build / join / seal /
+// other) of qs[i]. A worker evaluates one query at a time on a private
+// fork, so attaching the query's timer to the fork for the duration of
+// that evaluation gives every timer exactly one writer — no allocation
+// and no synchronisation beyond the Stats mutex the hot path already
+// takes. timers may be nil (untimed) but must otherwise have len(qs).
+func (e *Engine) EvaluateBatchParallelRelTimed(qs []rpq.Expr, workers int, timers []*StageTimer) ([]*pairs.Relation, uint64, error) {
+	if timers != nil && len(timers) != len(qs) {
+		timers = nil
+	}
+	return evalBatchPinned(e, qs, workers, timers, (*Engine).EvaluateRel)
 }
 
 // evalBatchPinned is the shared skeleton of the parallel batch
@@ -56,11 +71,23 @@ func (e *Engine) EvaluateBatchParallelRel(qs []rpq.Expr, workers int) ([]*pairs.
 // workers (each fork pinned to that version), fold the workers' Stats
 // back into the receiver, and return the results in input order plus
 // the pinned epoch.
-func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, eval func(*Engine, rpq.Expr) (T, error)) ([]T, uint64, error) {
+func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, timers []*StageTimer, eval func(*Engine, rpq.Expr) (T, error)) ([]T, uint64, error) {
 	n := len(qs)
 	pinned := e.version()
 	if n == 0 {
 		return nil, pinned.epoch, nil
+	}
+	// evalTimed runs one query on a worker fork with that query's stage
+	// timer (if any) attached for the duration. The fork is private and
+	// evaluates one query at a time, so the timer has a single writer.
+	evalTimed := func(worker *Engine, i int) (T, error) {
+		if timers == nil || timers[i] == nil {
+			return eval(worker, qs[i])
+		}
+		worker.setStages(timers[i])
+		res, err := eval(worker, qs[i])
+		worker.setStages(nil)
+		return res, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -72,8 +99,8 @@ func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, eval func(*En
 		// Serial fallback, still pinned to one version via a fork.
 		worker := e.forkVersion(pinned)
 		out := make([]T, n)
-		for i, q := range qs {
-			res, err := eval(worker, q)
+		for i := range qs {
+			res, err := evalTimed(worker, i)
 			if err != nil {
 				e.absorb(worker)
 				return nil, pinned.epoch, err
@@ -102,7 +129,7 @@ func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, eval func(*En
 				if i >= n || aborted.Load() {
 					return
 				}
-				res, err := eval(worker, qs[i])
+				res, err := evalTimed(worker, i)
 				if err != nil {
 					errs[w] = err
 					aborted.Store(true)

@@ -99,13 +99,14 @@ func (e *engineVersion) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.R
 	start := time.Now()
 	clauses, err := rpq.ToDNFLimit(q, e.maxClauses())
 	if err != nil {
-		e.addRemainder(time.Since(start))
+		e.addPlan(time.Since(start))
 		return nil, err
 	}
 	// Planning time counts as Remainder: every strategy plans
-	// identically, like the DNF conversion itself.
+	// identically, like the DNF conversion itself. (In the per-request
+	// stage breakdown it is the Plan stage.)
 	qp := e.planner().Plan(q, clauses)
-	e.addRemainder(time.Since(start))
+	e.addPlan(time.Since(start))
 	if obs != nil {
 		obs.plan = qp
 		obs.actuals = make([]clauseActuals, len(qp.Clauses))
@@ -150,7 +151,7 @@ func (e *engineVersion) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.R
 		t0 := time.Now()
 		result = merge.Seal()
 		e.releaseBuilder(merge)
-		e.addRemainder(time.Since(t0))
+		e.addSeal(time.Since(t0))
 	}
 	if result == nil {
 		result = pairs.NewBuilder(e.g.NumVertices()).Seal()
@@ -173,10 +174,12 @@ func (e *engineVersion) execClause(cp *plan.ClausePlan) (*pairs.Relation, clause
 		ev, key := e.acquireEvaluator(cp.Clause)
 		b := e.acquireBuilder()
 		ev.AppendAllSeeded(b)
+		e.addRemainder(time.Since(t0))
+		t0 = time.Now()
 		clauseG := b.Seal()
 		e.releaseBuilder(b)
 		e.releaseEvaluator(key, ev)
-		e.addRemainder(time.Since(t0))
+		e.addSeal(time.Since(t0))
 		return clauseG, act, nil
 	}
 
@@ -260,9 +263,18 @@ func (e *engineVersion) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 	if ok {
 		return rel, nil
 	}
-	val, _, retained, err := e.cache.GetOrComputeRelation(e.epoch, key, func() (any, error) {
+	t0 := time.Now()
+	val, computed, retained, err := e.cache.GetOrComputeRelation(e.epoch, key, func() (any, error) {
 		return e.evaluatePlanned(q, nil)
 	})
+	if !computed {
+		// A memo hit — or a singleflight wait on another goroutine's
+		// in-flight evaluation. The wall time is real for this request's
+		// breakdown, but Stats must not see it: the computing engine
+		// already attributed the work (and on the computed branch this
+		// engine's own inner calls did).
+		e.stageOtherWait(time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -299,9 +311,17 @@ func (e *engineVersion) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 		return v.structure, nil
 	}
 	key := nsRTC + r.String()
+	t0 := time.Now()
 	val, computed, err := e.cache.GetOrCompute(e.epoch, key, func() (any, error) {
 		return e.computeRTC(r)
 	})
+	if !computed {
+		// Cache hit or singleflight wait: this request's wall clock
+		// passed at the closure boundary, so the stage breakdown charges
+		// it to closure-build, while Stats stays with the engine that
+		// computed the structure.
+		e.stageClosureWait(time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -379,9 +399,13 @@ func (e *engineVersion) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 		e.countLookup(false, v.summary)
 		return v.closure, nil
 	}
+	t0 := time.Now()
 	val, computed, err := e.cache.GetOrCompute(e.epoch, nsFull+r.String(), func() (any, error) {
 		return e.computeFullClosure(r)
 	})
+	if !computed {
+		e.stageClosureWait(time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

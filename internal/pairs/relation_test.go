@@ -284,3 +284,44 @@ func TestRelationPageHugeLimit(t *testing.T) {
 		t.Fatalf("Page(MaxInt, MaxInt) = %v", got)
 	}
 }
+
+// TestRelationPageEdgeCases pins the documented paging semantics on a
+// relation whose CSR rows have uneven run lengths, so pages cross row
+// boundaries mid-run:
+//
+//	src 0: (0,1) (0,2) (0,3)   src 2: (2,0)   src 3: (3,1) (3,2)
+func TestRelationPageEdgeCases(t *testing.T) {
+	rel := RelationFromPairs(4,
+		Pair{Src: 0, Dst: 1}, Pair{Src: 0, Dst: 2}, Pair{Src: 0, Dst: 3},
+		Pair{Src: 2, Dst: 0},
+		Pair{Src: 3, Dst: 1}, Pair{Src: 3, Dst: 2},
+	)
+	sorted := rel.Sorted()
+	cases := []struct {
+		name          string
+		offset, limit int
+		want          []Pair
+	}{
+		{"offset at end", rel.Len(), 5, nil},
+		{"offset past end", rel.Len() + 10, 5, nil},
+		{"negative offset clamps to start", -3, 2, sorted[:2]},
+		{"zero limit means to the end", 1, 0, sorted[1:]},
+		{"negative limit means to the end", 2, -1, sorted[2:]},
+		{"page spans row 0 into row 2", 2, 2, []Pair{{Src: 0, Dst: 3}, {Src: 2, Dst: 0}}},
+		{"page spans three rows", 1, 5, sorted[1:]},
+		{"page starts mid-row 3", 5, 3, []Pair{{Src: 3, Dst: 2}}},
+	}
+	for _, c := range cases {
+		got := rel.Page(c.offset, c.limit)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Page(%d, %d) = %v, want %v", c.name, c.offset, c.limit, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Page(%d, %d) = %v, want %v", c.name, c.offset, c.limit, got, c.want)
+				break
+			}
+		}
+	}
+}

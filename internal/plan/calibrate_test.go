@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationNeutral: nil and empty calibrations are factor 1 and
+// swallow observations safely.
+func TestCalibrationNeutral(t *testing.T) {
+	var nilCal *Calibration
+	nilCal.Observe(10, 20)
+	if nilCal.Factor() != 1 || nilCal.Samples() != 0 {
+		t.Fatalf("nil calibration: factor=%v samples=%d", nilCal.Factor(), nilCal.Samples())
+	}
+	c := NewCalibration()
+	if c.Factor() != 1 || c.Samples() != 0 {
+		t.Fatalf("empty calibration: factor=%v samples=%d", c.Factor(), c.Samples())
+	}
+}
+
+// TestCalibrationConverges: repeated 4x under-estimation converges the
+// factor towards 4; symmetric over-estimation towards 1/4.
+func TestCalibrationConverges(t *testing.T) {
+	under := NewCalibration()
+	for i := 0; i < 50; i++ {
+		under.Observe(100, 400)
+	}
+	if f := under.Factor(); math.Abs(f-4) > 0.01 {
+		t.Fatalf("under-estimation factor = %v, want ~4", f)
+	}
+	over := NewCalibration()
+	for i := 0; i < 50; i++ {
+		over.Observe(400, 100)
+	}
+	if f := over.Factor(); math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("over-estimation factor = %v, want ~0.25", f)
+	}
+}
+
+// TestCalibrationClampAndSkips: a single wild observation is ratio-
+// clamped; bad inputs are skipped entirely; zero actuals still pull the
+// factor down.
+func TestCalibrationClampAndSkips(t *testing.T) {
+	c := NewCalibration()
+	c.Observe(1, 1e12)
+	if f := c.Factor(); f > 64.001 {
+		t.Fatalf("single-observation factor %v exceeds the 64x clamp", f)
+	}
+
+	skip := NewCalibration()
+	skip.Observe(0, 10)
+	skip.Observe(-5, 10)
+	skip.Observe(10, math.NaN())
+	skip.Observe(10, -1)
+	if skip.Samples() != 0 {
+		t.Fatalf("invalid observations were not skipped: %d samples", skip.Samples())
+	}
+
+	empty := NewCalibration()
+	empty.Observe(100, 0)
+	if f := empty.Factor(); f >= 1 {
+		t.Fatalf("zero-actual observation should pull the factor below 1, got %v", f)
+	}
+}
+
+// TestCalibrateScalesPlanUniformly: a planner with a calibrated config
+// scales the chosen plan's cost and output estimates by the factor
+// without changing which plan wins (relative choice is factor-free).
+func TestCalibrateScalesPlanUniformly(t *testing.T) {
+	cal := NewCalibration()
+	for i := 0; i < 50; i++ {
+		cal.Observe(100, 400)
+	}
+	f := cal.Factor()
+
+	base := ClausePlan{Est: Estimates{Cost: 10, OutPairs: 5, PrePairs: 3}}
+	pNeutral := &Planner{cfg: Config{}}
+	pCal := &Planner{cfg: Config{Calibration: cal}}
+
+	got := pCal.calibrate(base)
+	want := pNeutral.calibrate(base)
+	if want.Est.Cost != 10 || want.Est.OutPairs != 5 {
+		t.Fatalf("neutral calibrate mutated the plan: %+v", want.Est)
+	}
+	if math.Abs(got.Est.Cost-10*f) > 1e-9 || math.Abs(got.Est.OutPairs-5*f) > 1e-9 {
+		t.Fatalf("calibrated estimates = %+v, want cost %v out %v", got.Est, 10*f, 5*f)
+	}
+	if got.Est.PrePairs != 3 {
+		t.Fatalf("calibrate touched a side-cardinality: %+v", got.Est)
+	}
+}

@@ -21,6 +21,12 @@ type Config struct {
 	// cost model then charges join tuples at the columnar rate
 	// (columnarJoinTuple vs mapJoinTuple).
 	ColumnarJoins bool
+	// Calibration, when non-nil, supplies the measured-cardinality
+	// correction factor applied to the chosen plan's absolute
+	// estimates. Relative candidate comparison stays uncalibrated (a
+	// uniform factor cannot change it), so calibration moves admission
+	// thresholds and EXPLAIN numbers, never plan choice.
+	Calibration *Calibration
 }
 
 // Planner plans DNF clauses for one graph. It is safe for concurrent
@@ -141,13 +147,13 @@ func (p *Planner) PlanClause(clause rpq.Expr) ClausePlan {
 		// Closure-free: the automaton product is the only operator.
 		cp := p.automatonPlan(clause, units[0])
 		cp.Candidates = 1
-		return cp
+		return p.calibrate(cp)
 	}
 	rightmost := units[len(units)-1]
 	def := p.sharedPlan(clause, rightmost, Forward)
 	if p.cfg.Mode == Heuristic {
 		def.Candidates = 1
-		return def
+		return p.calibrate(def)
 	}
 	// Cost-based: every anchor in both directions, plus the automaton
 	// bypass. The heuristic default only loses to a candidate that beats
@@ -168,7 +174,33 @@ func (p *Planner) PlanClause(clause rpq.Expr) ClausePlan {
 		}
 	}
 	best.Candidates = len(candidates) + 1
-	return best
+	return p.calibrate(best)
+}
+
+// calibrate applies the measured-cardinality correction factor to the
+// chosen plan's absolute estimates. Applied once, after candidate
+// selection: the factor is uniform, so applying it during comparison
+// would change nothing, and keeping selection uncalibrated keeps the
+// deviation-floor constants meaning what they meant when tuned.
+func (p *Planner) calibrate(cp ClausePlan) ClausePlan {
+	f := p.cfg.Calibration.Factor()
+	if f != 1 {
+		cp.Est.Cost *= f
+		cp.Est.OutPairs *= f
+	}
+	return cp
+}
+
+// CheapCostBound is the admission threshold under which a planned
+// clause counts as cheap: the planner's deviation floor — the cost
+// below which alternative shared plans are not even considered because
+// constant factors dominate — expressed in absolute cost units for the
+// configured layout. Since plan estimates are calibrated by measured
+// cardinality error while this bound is fixed in true-work units, a
+// workload the model underestimates shrinks the set of queries that
+// classify cheap, exactly as it should.
+func (p *Planner) CheapCostBound() float64 {
+	return deviationFloor * p.joinTuple() * p.est.NumVertices()
 }
 
 // automatonPlan costs evaluating the whole clause by product traversal.

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights one new observation of the controller's two
+// estimators (inter-arrival gap, batch occupancy). 0.2 converges in a
+// couple dozen arrivals yet rides out single stragglers.
+const ewmaAlpha = 0.2
+
+// occupancyFloor is the mean batch occupancy below which the adaptive
+// controller concludes that waiting is not finding company — the
+// arrivals the rate estimate promised are not actually landing in the
+// window (bursty traffic, dedup into the fast path) — and drops to the
+// minimum window rather than keep taxing near-solo queries.
+const occupancyFloor = 1.5
+
+// windowController picks the coalescing window. With a fixed window
+// configured (Options.Window > 0) it is a constant — the reproducible
+// behavior every pre-existing test and benchmark pins. Otherwise it
+// adapts: the window is sized so that, at the observed arrival rate,
+// about targetOccupancy queries land in it —
+//
+//	window ≈ interArrival × (targetOccupancy − 1)
+//
+// clamped to [min, max] — under two guards. If even the maximum window
+// could not expect a second arrival (rate too low), the controller
+// returns the minimum: a window only pays when it buys sharing, and a
+// lone query should not wait for company that is not coming. And if
+// measured occupancy stays below occupancyFloor despite a window being
+// open, the rate estimate is not translating into co-batched queries,
+// so the controller again backs off to the minimum.
+//
+// The controller only ever trades the first query's wait against
+// expected sharing; the MaxBatch size seal still bounds how much a
+// too-long window can accumulate.
+type windowController struct {
+	fixed  time.Duration
+	min    time.Duration
+	max    time.Duration
+	target float64
+
+	mu          sync.Mutex
+	haveArrival bool
+	lastArrival time.Time
+	interNS     float64 // EWMA of inter-arrival gap, ns
+	occupancy   float64 // EWMA of admitted queries per batch
+}
+
+// newWindowController builds the controller from default-filled
+// options: fixed mode when opts.Window > 0, adaptive within
+// [MinWindow, MaxWindow] otherwise.
+func newWindowController(opts Options) *windowController {
+	target := float64(opts.MaxBatch)
+	if target > 8 {
+		// Aiming for a full batch would stretch the window ~MaxBatch
+		// inter-arrival gaps; 8 co-batched queries already capture most
+		// of the sharing win at an eighth of the wait.
+		target = 8
+	}
+	return &windowController{
+		fixed:  opts.Window,
+		min:    opts.MinWindow,
+		max:    opts.MaxWindow,
+		target: target,
+	}
+}
+
+// noteArrival folds one query arrival into the rate estimate.
+func (wc *windowController) noteArrival(now time.Time) {
+	wc.mu.Lock()
+	if wc.haveArrival {
+		gap := float64(now.Sub(wc.lastArrival))
+		if gap >= 0 {
+			if wc.interNS == 0 {
+				wc.interNS = gap
+			} else {
+				wc.interNS = (1-ewmaAlpha)*wc.interNS + ewmaAlpha*gap
+			}
+		}
+	}
+	wc.haveArrival = true
+	wc.lastArrival = now
+	wc.mu.Unlock()
+}
+
+// noteBatch folds one evaluated batch's admitted-query count into the
+// occupancy estimate.
+func (wc *windowController) noteBatch(admitted int) {
+	wc.mu.Lock()
+	if wc.occupancy == 0 {
+		wc.occupancy = float64(admitted)
+	} else {
+		wc.occupancy = (1-ewmaAlpha)*wc.occupancy + ewmaAlpha*float64(admitted)
+	}
+	wc.mu.Unlock()
+}
+
+// window returns the coalescing window to open for a new batch.
+func (wc *windowController) window() time.Duration {
+	if wc.fixed > 0 {
+		return wc.fixed
+	}
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.interNS <= 0 {
+		return wc.min
+	}
+	// Expected further arrivals within even the maximum window: below
+	// one, waiting buys nothing.
+	if float64(wc.max)/wc.interNS < 1 {
+		return wc.min
+	}
+	if wc.occupancy > 0 && wc.occupancy < occupancyFloor {
+		return wc.min
+	}
+	w := time.Duration(wc.interNS * (wc.target - 1))
+	if w < wc.min {
+		return wc.min
+	}
+	if w > wc.max {
+		return wc.max
+	}
+	return w
+}
+
+// gauges reports the rolling arrival rate (queries/s), the mean batch
+// occupancy, and the window the controller would open now.
+func (wc *windowController) gauges() (rateQPS, occupancy float64, window time.Duration) {
+	window = wc.window()
+	wc.mu.Lock()
+	if wc.interNS > 0 {
+		rateQPS = float64(time.Second) / wc.interNS
+	}
+	occupancy = wc.occupancy
+	wc.mu.Unlock()
+	return rateQPS, occupancy, window
+}
+
+// adaptive reports whether the controller is in adaptive mode.
+func (wc *windowController) adaptive() bool { return wc.fixed <= 0 }

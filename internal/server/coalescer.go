@@ -23,36 +23,47 @@ var (
 )
 
 // result is what the demux hands one waiter: the sealed relation, the
-// graph epoch the evaluation was pinned to, or the batch's error.
+// graph epoch the evaluation was pinned to (or the batch's error),
+// plus the request's stage breakdown and the serving path it took.
 type result struct {
-	rel   *pairs.Relation
-	epoch uint64
-	err   error
+	rel    *pairs.Relation
+	epoch  uint64
+	err    error
+	stages core.StageTimer
+	path   resultPath
 }
 
 // waiter receives exactly one result; buffered so the demux never
 // blocks on a waiter that timed out and walked away.
 type waiter chan result
 
+// waiterEntry is one request waiting in a window, stamped with its
+// admission time so the demux can attribute its coalesce-wait stage.
+type waiterEntry struct {
+	ch       waiter
+	enqueued time.Time
+}
+
 // pendingQuery is one distinct query of a forming batch with every
 // request waiting on it — the dedup unit: any number of concurrent
 // clients asking the same query string ride one evaluation.
 type pendingQuery struct {
 	expr    rpq.Expr
-	waiters []waiter
+	waiters []waiterEntry
 }
 
 // batch is one coalescing window's worth of queries. It is born when
 // the first query of a window arrives, accumulates (deduplicated)
 // queries until the window timer fires or the distinct-size cap is
-// reached, and is then sealed — immutable, handed to a dispatcher for
-// one EvaluateBatchParallelRel call, and demultiplexed back to its
-// waiters.
+// reached, and is then sealed — immutable, stamped with its seal time,
+// handed to a dispatcher for one EvaluateBatchParallelRel call, and
+// demultiplexed back to its waiters.
 type batch struct {
-	queries []*pendingQuery
-	index   map[string]int
-	timer   *time.Timer
-	sealed  bool
+	queries  []*pendingQuery
+	index    map[string]int
+	timer    *time.Timer
+	sealed   bool
+	sealedAt time.Time
 }
 
 // sealReason tags why a batch left the window, for CoalescerStats.
@@ -69,9 +80,20 @@ const (
 // by query string, evaluated as ONE engine batch so unrelated clients
 // share closure structures (and the whole batch is pinned to a single
 // graph epoch), then demultiplexed back to their waiters.
+//
+// Two paths bypass the window. The fast path answers memo-warm queries
+// straight from the epoch-tagged result cache. The fast lane admits
+// queries that classify cheap under the planner's calibrated cost
+// model — including heavy queries whose closure structures are already
+// cached — onto a reserved evaluation slot, so a storm of expensive
+// closure builds cannot queue-convoy the cheap majority. Both paths
+// evaluate against the same epoch-pinned engine as the window, so
+// results are identical to what the windowed path would return at that
+// epoch.
 type coalescer struct {
 	engine *core.Engine
 	opts   Options
+	ctrl   *windowController
 
 	mu          sync.Mutex
 	pending     *batch
@@ -80,15 +102,30 @@ type coalescer struct {
 	queue       chan *batch
 
 	// closedFlag mirrors closed for the lock-free admission paths
-	// (fast path, DisableCoalescing), so Close's "new queries get 503"
-	// contract holds on every path, not just the window.
+	// (fast path, fast lane, DisableCoalescing), so Close's "new
+	// queries get 503" contract holds on every path, not just the
+	// window.
 	closedFlag atomic.Bool
+
+	// fastSem is the fast lane's reserved-slot semaphore
+	// (FastLaneSlots). Admission try-acquires: a busy lane sends the
+	// query to the window instead of queueing — the window batches and
+	// dedups a cheap storm more efficiently than a lane convoy would.
+	fastSem chan struct{}
+
+	// classMu guards the per-epoch admission-classification memo:
+	// classifying a query costs one planner pass, so repeats at the
+	// same epoch are a map probe. An epoch advance invalidates it
+	// (cache state, and with it sunk-cost classification, changed).
+	classMu    sync.Mutex
+	classEpoch uint64
+	classCheap map[string]bool
 
 	wg sync.WaitGroup
 
 	// Counters behind CoalescerStats, all atomic.
 	submitted, direct, dedupHits         atomic.Int64
-	fastPathHits                         atomic.Int64
+	fastPathHits, fastLaneHits           atomic.Int64
 	batches, batchQueries, batchDistinct atomic.Int64
 	maxBatchDistinct                     atomic.Int64
 	sealedByWindow, sealedBySize         atomic.Int64
@@ -100,9 +137,12 @@ type coalescer struct {
 // each evaluating one sealed batch at a time.
 func newCoalescer(engine *core.Engine, opts Options) *coalescer {
 	c := &coalescer{
-		engine: engine,
-		opts:   opts,
-		queue:  make(chan *batch, opts.MaxQueuedBatches),
+		engine:     engine,
+		opts:       opts,
+		ctrl:       newWindowController(opts),
+		queue:      make(chan *batch, opts.MaxQueuedBatches),
+		fastSem:    make(chan struct{}, opts.FastLaneSlots),
+		classCheap: make(map[string]bool),
 	}
 	for i := 0; i < opts.MaxInFlight; i++ {
 		c.wg.Add(1)
@@ -111,11 +151,44 @@ func newCoalescer(engine *core.Engine, opts Options) *coalescer {
 	return c
 }
 
+// classifyCheap decides fast-lane admission for one query at the
+// engine's current epoch, memoised per epoch. It returns the verdict
+// and the classification time (attributed to the Plan stage of a
+// fast-lane request — the planner pass is real planning work).
+func (c *coalescer) classifyCheap(key string, expr rpq.Expr) (bool, int64) {
+	t0 := time.Now()
+	epoch := c.engine.Epoch()
+	c.classMu.Lock()
+	if c.classEpoch != epoch {
+		c.classEpoch = epoch
+		c.classCheap = make(map[string]bool)
+	} else if cheap, ok := c.classCheap[key]; ok {
+		c.classMu.Unlock()
+		return cheap, time.Since(t0).Nanoseconds()
+	}
+	c.classMu.Unlock()
+
+	_, cheap, err := c.engine.QueryCost(expr)
+	if err != nil {
+		// Unplannable here means it will fail identically in the batch;
+		// let the windowed path produce the error.
+		cheap = false
+	}
+	c.classMu.Lock()
+	if c.classEpoch == epoch {
+		c.classCheap[key] = cheap
+	}
+	c.classMu.Unlock()
+	return cheap, time.Since(t0).Nanoseconds()
+}
+
 // submit admits one parsed query and blocks until its batch's result is
 // demultiplexed back, the context expires, or admission fails. key must
 // be the query string the request carried — it is the dedup identity.
 func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) result {
 	c.submitted.Add(1)
+	now := time.Now()
+	c.ctrl.noteArrival(now)
 	if c.closedFlag.Load() {
 		c.rejected.Add(1)
 		return result{err: ErrShuttingDown}
@@ -127,8 +200,9 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 		// batch-level guarantees (one epoch per window, window dedup)
 		// are gone, which is exactly what the serve experiment measures.
 		c.direct.Add(1)
-		rel, epoch, err := c.engine.EvaluateRelEpoch(expr)
-		return result{rel: rel, epoch: epoch, err: err}
+		var st core.StageTimer
+		rel, epoch, err := c.engine.EvaluateRelTimed(expr, &st)
+		return result{rel: rel, epoch: epoch, err: err, stages: st, path: pathDirect}
 	}
 
 	// Fast path: a result already memoised at the current epoch answers
@@ -137,10 +211,31 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	// latency at all.
 	if rel, epoch, ok := c.engine.CachedResult(expr); ok {
 		c.fastPathHits.Add(1)
-		return result{rel: rel, epoch: epoch}
+		return result{rel: rel, epoch: epoch, path: pathFastPath}
 	}
 
-	w := make(waiter, 1)
+	// Fast lane: queries the calibrated cost model classifies cheap —
+	// including heavy queries whose closure structures are already
+	// cached (sunk cost) — evaluate on a reserved slot instead of
+	// waiting out a window behind heavy closure builds. try-acquire
+	// only: a busy lane falls through to the window, which batches and
+	// dedups a cheap storm better than a convoy on the lane would.
+	if !c.opts.DisableFastLane && cap(c.fastSem) > 0 {
+		if cheap, planNS := c.classifyCheap(key, expr); cheap {
+			select {
+			case c.fastSem <- struct{}{}:
+				var st core.StageTimer
+				st.PlanNS += planNS
+				rel, epoch, err := c.engine.EvaluateRelTimed(expr, &st)
+				<-c.fastSem
+				c.fastLaneHits.Add(1)
+				return result{rel: rel, epoch: epoch, err: err, stages: st, path: pathFastLane}
+			default:
+			}
+		}
+	}
+
+	w := waiterEntry{ch: make(waiter, 1), enqueued: now}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -150,7 +245,7 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	b := c.pending
 	if b == nil {
 		b = &batch{index: make(map[string]int)}
-		b.timer = time.AfterFunc(c.opts.Window, func() { c.seal(b, sealWindow) })
+		b.timer = time.AfterFunc(c.ctrl.window(), func() { c.seal(b, sealWindow) })
 		c.pending = b
 	}
 	if i, ok := b.index[key]; ok {
@@ -158,7 +253,7 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 		b.queries[i].waiters = append(b.queries[i].waiters, w)
 	} else {
 		b.index[key] = len(b.queries)
-		b.queries = append(b.queries, &pendingQuery{expr: expr, waiters: []waiter{w}})
+		b.queries = append(b.queries, &pendingQuery{expr: expr, waiters: []waiterEntry{w}})
 	}
 	full := len(b.queries) >= c.opts.MaxBatch
 	c.mu.Unlock()
@@ -167,7 +262,7 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	}
 
 	select {
-	case r := <-w:
+	case r := <-w.ch:
 		return r
 	case <-ctx.Done():
 		// The per-request timeout: the waiter walks away; the batch
@@ -188,6 +283,7 @@ func (c *coalescer) seal(b *batch, reason sealReason) {
 		return
 	}
 	b.sealed = true
+	b.sealedAt = time.Now()
 	c.pending = nil
 	b.timer.Stop()
 	switch reason {
@@ -201,7 +297,7 @@ func (c *coalescer) seal(b *batch, reason sealReason) {
 	if c.queueClosed {
 		c.mu.Unlock()
 		c.rejected.Add(int64(len(b.queries)))
-		demux(b, nil, 0, ErrShuttingDown)
+		demux(b, nil, nil, 0, ErrShuttingDown)
 		return
 	}
 	// Admission control: a full queue rejects the batch instead of
@@ -213,7 +309,7 @@ func (c *coalescer) seal(b *batch, reason sealReason) {
 	default:
 		c.mu.Unlock()
 		c.rejected.Add(int64(len(b.queries)))
-		demux(b, nil, 0, ErrOverloaded)
+		demux(b, nil, nil, 0, ErrOverloaded)
 	}
 }
 
@@ -233,12 +329,18 @@ func (c *coalescer) dispatch() {
 // mid-batch.
 func (c *coalescer) evaluate(b *batch) {
 	exprs := make([]rpq.Expr, len(b.queries))
+	timers := make([]*core.StageTimer, len(b.queries))
 	waiters := 0
 	for i, pq := range b.queries {
 		exprs[i] = pq.expr
+		timers[i] = &core.StageTimer{}
 		waiters += len(pq.waiters)
 	}
-	rels, epoch, err := c.engine.EvaluateBatchParallelRel(exprs, c.opts.Workers)
+	// Queue stage: sealed but waiting for this dispatcher slot. It is
+	// per-batch (every query of the batch waited it out together).
+	queueNS := time.Since(b.sealedAt).Nanoseconds()
+	rels, epoch, err := c.engine.EvaluateBatchParallelRelTimed(exprs, c.opts.Workers, timers)
+	c.ctrl.noteBatch(waiters)
 	c.batches.Add(1)
 	c.batchQueries.Add(int64(waiters))
 	c.batchDistinct.Add(int64(len(exprs)))
@@ -247,6 +349,9 @@ func (c *coalescer) evaluate(b *batch) {
 		if int64(len(exprs)) <= cur || c.maxBatchDistinct.CompareAndSwap(cur, int64(len(exprs))) {
 			break
 		}
+	}
+	for i := range timers {
+		timers[i].QueueNS = queueNS
 	}
 	if err != nil {
 		// One failing query must not fail its co-batched neighbours:
@@ -258,28 +363,38 @@ func (c *coalescer) evaluate(b *batch) {
 		// even if an update lands between the per-query evaluations.
 		c.evalErrors.Add(1)
 		worker := c.engine.Fork()
-		for _, pq := range b.queries {
-			rel, qEpoch, qErr := worker.EvaluateRelEpoch(pq.expr)
-			r := result{rel: rel, epoch: qEpoch, err: qErr}
+		for i, pq := range b.queries {
+			*timers[i] = core.StageTimer{QueueNS: queueNS}
+			rel, qEpoch, qErr := worker.EvaluateRelTimed(pq.expr, timers[i])
+			r := result{rel: rel, epoch: qEpoch, err: qErr, stages: *timers[i]}
 			for _, w := range pq.waiters {
-				w <- r
+				r.stages.CoalesceWaitNS = b.sealedAt.Sub(w.enqueued).Nanoseconds()
+				w.ch <- r
 			}
 		}
 		return
 	}
-	demux(b, rels, epoch, err)
+	demux(b, rels, timers, epoch, err)
 }
 
-// demux fans one batch outcome back to every waiter. rels is nil on
-// error, in which case every waiter receives err.
-func demux(b *batch, rels []*pairs.Relation, epoch uint64, err error) {
+// demux fans one batch outcome back to every waiter, stamping each
+// waiter's coalesce-wait (admission → seal) into its copy of the
+// query's stage breakdown. rels is nil on error, in which case every
+// waiter receives err; timers may be nil on pre-evaluation rejections.
+func demux(b *batch, rels []*pairs.Relation, timers []*core.StageTimer, epoch uint64, err error) {
 	for i, pq := range b.queries {
 		r := result{epoch: epoch, err: err}
 		if err == nil {
 			r.rel = rels[i]
 		}
+		if timers != nil {
+			r.stages = *timers[i]
+		}
 		for _, w := range pq.waiters {
-			w <- r
+			if !b.sealedAt.IsZero() {
+				r.stages.CoalesceWaitNS = b.sealedAt.Sub(w.enqueued).Nanoseconds()
+			}
+			w.ch <- r
 		}
 	}
 }
@@ -326,6 +441,9 @@ type CoalescerStats struct {
 	// FastPathHits counts queries answered straight from the engine's
 	// epoch-tagged result memo, skipping the window entirely.
 	FastPathHits int64 `json:"fast_path_hits"`
+	// FastLaneHits counts queries that classified cheap and evaluated
+	// on the fast lane's reserved slot, bypassing the window.
+	FastLaneHits int64 `json:"fast_lane_hits"`
 
 	// Batches counts evaluated batches; BatchQueries the admitted
 	// queries they carried (dedup included); BatchDistinct the distinct
@@ -357,6 +475,7 @@ func (c *coalescer) stats() CoalescerStats {
 		Direct:           c.direct.Load(),
 		DedupHits:        c.dedupHits.Load(),
 		FastPathHits:     c.fastPathHits.Load(),
+		FastLaneHits:     c.fastLaneHits.Load(),
 		Batches:          c.batches.Load(),
 		BatchQueries:     c.batchQueries.Load(),
 		BatchDistinct:    c.batchDistinct.Load(),

@@ -43,8 +43,25 @@ import (
 // defaults, filled in by NewServer.
 type Options struct {
 	// Window bounds how long the first query of a batch waits for
-	// company before the batch seals. Default 2ms.
+	// company before the batch seals. A positive value fixes the window
+	// (the reproducible behavior benchmarks pin); the default, 0, lets
+	// the adaptive controller tune it from the observed arrival rate
+	// and batch occupancy within [MinWindow, MaxWindow].
 	Window time.Duration
+	// MinWindow and MaxWindow bound the adaptive window controller.
+	// Defaults 100µs and 4ms; ignored when Window > 0.
+	MinWindow time.Duration
+	MaxWindow time.Duration
+	// DisableFastLane turns off the priority fast lane: with it set,
+	// every non-memo-warm query rides a coalescing window, however
+	// cheap. The latency experiment's ablation leg.
+	DisableFastLane bool
+	// FastLaneSlots is the number of reserved fast-lane evaluation
+	// slots. Default 1: one cheap query at a time bypasses the window;
+	// when the lane is busy, cheap queries fall back to the window
+	// (which batches and dedups them). Not a queue — the lane never
+	// convoys.
+	FastLaneSlots int
 	// MaxBatch seals a batch early once it holds this many DISTINCT
 	// queries (deduplicated waiters do not count). Default 64.
 	MaxBatch int
@@ -78,8 +95,20 @@ type Options struct {
 
 // withDefaults fills the zero fields with the documented defaults.
 func (o Options) withDefaults() Options {
-	if o.Window <= 0 {
-		o.Window = 2 * time.Millisecond
+	if o.Window < 0 {
+		o.Window = 0 // adaptive
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 100 * time.Microsecond
+	}
+	if o.MaxWindow <= 0 {
+		o.MaxWindow = 4 * time.Millisecond
+	}
+	if o.MaxWindow < o.MinWindow {
+		o.MaxWindow = o.MinWindow
+	}
+	if o.FastLaneSlots <= 0 {
+		o.FastLaneSlots = 1
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
@@ -109,6 +138,7 @@ type Server struct {
 	coal   *coalescer
 	mux    *http.ServeMux
 	start  time.Time
+	lat    latencyRecorder
 
 	closeOnce sync.Once
 }
@@ -205,6 +235,17 @@ type QueryResponse struct {
 	// Offset echoes the effective offset; Count is len(Pairs).
 	Offset int `json:"offset"`
 	Count  int `json:"count"`
+	// Path is how the request was served: "fast_path" (result memo),
+	// "fast_lane" (cheap-classified, reserved slot), "windowed"
+	// (coalescing batch) or "direct" (coalescing disabled).
+	Path string `json:"path"`
+	// Stages is the per-stage latency breakdown of this request; the
+	// stages partition WallNS (fast-path hits do no attributed work, so
+	// theirs is near-empty).
+	Stages core.StageTimer `json:"stages"`
+	// WallNS is the server-measured wall time of the request, from
+	// handler entry to response encoding.
+	WallNS int64 `json:"wall_ns"`
 	// Pairs is the page: [start, end] vertex pairs in (src, dst) order.
 	Pairs [][2]graph.VID `json:"pairs"`
 }
@@ -220,6 +261,7 @@ type errorResponse struct {
 const maxRequestBody = 16 << 20
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	handlerStart := time.Now()
 	var req QueryRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -263,17 +305,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	pageStart := time.Now()
 	page := res.rel.Page(req.Offset, req.Limit)
 	pairs := make([][2]graph.VID, len(page))
 	for i, p := range page {
 		pairs[i] = [2]graph.VID{p.Src, p.Dst}
 	}
+	res.stages.PageNS += time.Since(pageStart).Nanoseconds()
+	wall := time.Since(handlerStart)
+	s.lat.observe(res.path, wall, &res.stages)
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Query:  req.Query,
 		Epoch:  res.epoch,
 		Total:  res.rel.Len(),
 		Offset: req.Offset,
 		Count:  len(pairs),
+		Path:   res.path.String(),
+		Stages: res.stages,
+		WallNS: wall.Nanoseconds(),
 		Pairs:  pairs,
 	})
 }
@@ -370,12 +419,19 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // ExplainResponse is the body of GET /explain?q=…: the engine's plan
-// for the query, never executing it.
+// for the query. Plain explain never executes; with analyze=1 the
+// query runs and the Analyzed/Actual* fields report measured
+// cardinalities — each analyzed clause also feeds the planner's cost
+// calibration.
 type ExplainResponse struct {
 	Query    string          `json:"query"`
 	Strategy string          `json:"strategy"`
 	Planner  string          `json:"planner"`
+	Analyzed bool            `json:"analyzed"`
 	Clauses  []ExplainClause `json:"clauses"`
+	// ActualResultPairs and ActualMillis are set when Analyzed.
+	ActualResultPairs int     `json:"actual_result_pairs,omitempty"`
+	ActualMillis      float64 `json:"actual_ms,omitempty"`
 }
 
 // ExplainClause is one DNF clause of an ExplainResponse.
@@ -390,6 +446,9 @@ type ExplainClause struct {
 	SharedCached bool    `json:"shared_cached"`
 	EstCost      float64 `json:"est_cost"`
 	EstOutPairs  float64 `json:"est_out_pairs"`
+	// ActualPairs and ActualMillis are set when the plan was analyzed.
+	ActualPairs  int     `json:"actual_pairs,omitempty"`
+	ActualMillis float64 `json:"actual_ms,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +457,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
-	plan, err := s.engine.ExplainQuery(q)
+	explain := s.engine.ExplainQuery
+	switch v := r.URL.Query().Get("analyze"); v {
+	case "", "0", "false":
+	case "1", "true":
+		explain = s.engine.ExplainAnalyzeQuery
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad analyze value %q (want 0 or 1)", v))
+		return
+	}
+	plan, err := explain(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -407,9 +475,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Query:    plan.Query,
 		Strategy: plan.Strategy.String(),
 		Planner:  plan.Planner.String(),
+		Analyzed: plan.Analyzed,
+	}
+	if plan.Analyzed {
+		resp.ActualResultPairs = plan.ActualResultPairs
+		resp.ActualMillis = float64(plan.ActualTime) / nsPerMS
 	}
 	for _, c := range plan.Clauses {
-		resp.Clauses = append(resp.Clauses, ExplainClause{
+		ec := ExplainClause{
 			Clause:       c.Clause,
 			Pre:          c.Pre,
 			R:            c.R,
@@ -420,7 +493,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			SharedCached: c.SharedCached,
 			EstCost:      c.EstCost,
 			EstOutPairs:  c.EstOut,
-		})
+		}
+		if plan.Analyzed {
+			ec.ActualPairs = c.ActualPairs
+			ec.ActualMillis = float64(c.ActualTime) / nsPerMS
+		}
+		resp.Clauses = append(resp.Clauses, ec)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -448,7 +526,8 @@ type GraphInfo struct {
 }
 
 // TimingInfo is the engine's accumulated three-part split, in
-// milliseconds, plus its query and cache counters.
+// milliseconds, plus its query and cache counters and the planner's
+// cost-calibration state.
 type TimingInfo struct {
 	Queries          int     `json:"queries"`
 	SharedDataMillis float64 `json:"shared_data_ms"`
@@ -456,6 +535,65 @@ type TimingInfo struct {
 	RemainderMillis  float64 `json:"remainder_ms"`
 	CacheHits        int     `json:"cache_hits"`
 	CacheMisses      int     `json:"cache_misses"`
+	// CostCalibrationFactor is the planner's measured-cardinality
+	// correction (1 = uncalibrated); CostCalibrationSamples the
+	// ExplainAnalyze observations behind it.
+	CostCalibrationFactor  float64 `json:"cost_calibration_factor"`
+	CostCalibrationSamples int     `json:"cost_calibration_samples"`
+}
+
+// LatencyInfo is the /metrics latency section: request-latency
+// histograms (overall, split by serving path, and per pipeline stage)
+// plus the coalescing controller's gauges. All histogram fields are
+// HistogramStats; the section's key set is stable whether or not any
+// requests have been observed.
+type LatencyInfo struct {
+	// Overall covers every /query request; FastPath, FastLane, Windowed
+	// and Direct split it by serving path.
+	Overall  HistogramStats `json:"overall"`
+	FastPath HistogramStats `json:"fast_path"`
+	FastLane HistogramStats `json:"fast_lane"`
+	Windowed HistogramStats `json:"windowed"`
+	Direct   HistogramStats `json:"direct"`
+	// Stages holds one histogram per pipeline stage, counting requests
+	// in which the stage ran.
+	Stages StageHistograms `json:"stages"`
+	// ArrivalRateQPS and BatchOccupancy are the adaptive controller's
+	// rolling estimates; WindowMode is "fixed" or "adaptive";
+	// CurrentWindowMS is the window the controller would open now.
+	ArrivalRateQPS  float64 `json:"arrival_rate_qps"`
+	BatchOccupancy  float64 `json:"batch_occupancy"`
+	WindowMode      string  `json:"window_mode"`
+	CurrentWindowMS float64 `json:"current_window_ms"`
+}
+
+// RuntimeInfo is the /metrics runtime section: the Go runtime's vitals,
+// so latency spikes can be correlated with GC pauses and goroutine
+// growth.
+type RuntimeInfo struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	LastGCPauseMS  float64 `json:"last_gc_pause_ms"`
+	GCCPUFraction  float64 `json:"gc_cpu_fraction"`
+}
+
+// runtimeInfo snapshots the Go runtime for /metrics.
+func runtimeInfo() RuntimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	info := RuntimeInfo{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapAllocBytes: ms.HeapAlloc,
+		NumGC:          ms.NumGC,
+		GCCPUFraction:  ms.GCCPUFraction,
+	}
+	if ms.NumGC > 0 {
+		info.LastGCPauseMS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / nsPerMS
+	}
+	return info
 }
 
 // Metrics is the body of GET /metrics: the coalescing statistics, the
@@ -467,6 +605,8 @@ type Metrics struct {
 	Coalescer CoalescerStats     `json:"coalescer"`
 	Cache     core.CacheCounters `json:"cache"`
 	Timing    TimingInfo         `json:"timing"`
+	Latency   LatencyInfo        `json:"latency"`
+	Runtime   RuntimeInfo        `json:"runtime"`
 	// Persistence reports the store's bookkeeping and how the engine
 	// booted; nil (omitted) when the server runs without -data.
 	Persistence *store.PersistInfo `json:"persistence,omitempty"`
@@ -477,6 +617,12 @@ type Metrics struct {
 func (s *Server) MetricsSnapshot() Metrics {
 	g := s.engine.Graph()
 	st := s.engine.Stats()
+	calibFactor, calibSamples := s.engine.CostCalibration()
+	rate, occupancy, window := s.coal.ctrl.gauges()
+	mode := "fixed"
+	if s.coal.ctrl.adaptive() {
+		mode = "adaptive"
+	}
 	return Metrics{
 		Epoch: s.engine.Epoch(),
 		Graph: GraphInfo{
@@ -488,13 +634,28 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Cache:       s.engine.Cache().Counters(),
 		Persistence: s.persistInfo(),
 		Timing: TimingInfo{
-			Queries:          st.Queries,
-			SharedDataMillis: float64(st.SharedData) / float64(time.Millisecond),
-			PreJoinMillis:    float64(st.PreJoin) / float64(time.Millisecond),
-			RemainderMillis:  float64(st.Remainder) / float64(time.Millisecond),
-			CacheHits:        st.CacheHits,
-			CacheMisses:      st.CacheMisses,
+			Queries:                st.Queries,
+			SharedDataMillis:       float64(st.SharedData) / float64(time.Millisecond),
+			PreJoinMillis:          float64(st.PreJoin) / float64(time.Millisecond),
+			RemainderMillis:        float64(st.Remainder) / float64(time.Millisecond),
+			CacheHits:              st.CacheHits,
+			CacheMisses:            st.CacheMisses,
+			CostCalibrationFactor:  calibFactor,
+			CostCalibrationSamples: calibSamples,
 		},
+		Latency: LatencyInfo{
+			Overall:         s.lat.overall.snapshot(),
+			FastPath:        s.lat.fastPath.snapshot(),
+			FastLane:        s.lat.fastLane.snapshot(),
+			Windowed:        s.lat.windowed.snapshot(),
+			Direct:          s.lat.direct.snapshot(),
+			Stages:          s.lat.stages(),
+			ArrivalRateQPS:  rate,
+			BatchOccupancy:  occupancy,
+			WindowMode:      mode,
+			CurrentWindowMS: float64(window) / nsPerMS,
+		},
+		Runtime: runtimeInfo(),
 	}
 }
 

@@ -333,16 +333,49 @@ func EvaluateParallel(g *Graph, query string, workers int) (*Result, error) {
 // DESIGN.md §10.
 type Server = server.Server
 
-// ServerOptions configure a Server: the coalescing window and
-// distinct-size cap, the batch fan-out, the admission control (max
+// ServerOptions configure a Server: the coalescing window (fixed when
+// positive, adaptive within [MinWindow, MaxWindow] when zero), the
+// distinct-size cap, the priority fast lane (DisableFastLane,
+// FastLaneSlots), the batch fan-out, the admission control (max
 // in-flight batches, queued-batch bound, per-request timeout) and the
 // coalescing-off switch. The zero value gets the documented defaults.
 type ServerOptions = server.Options
 
 // ServerMetrics is the GET /metrics payload: the graph epoch and shape,
 // the coalescing statistics, the shared-cache counters (including the
-// CrossEpochHits tripwire) and the engine's timing split.
+// CrossEpochHits tripwire), the engine's timing split, the latency
+// histograms (ServerLatencyInfo) and the Go runtime vitals
+// (ServerRuntimeInfo).
 type ServerMetrics = server.Metrics
+
+// StageTimer is the per-request latency breakdown a /query response
+// carries (QueryResponse.Stages) and EvaluateRelTimed fills: one
+// nanosecond counter per pipeline stage (queue, coalesce-wait, plan,
+// closure-build, join, seal, page, other). The stages partition the
+// request's wall time.
+type StageTimer = core.StageTimer
+
+// HistogramStats is one log-bucketed latency histogram as /metrics
+// renders it: count, mean, interpolated p50/p90/p99 and exact max, in
+// milliseconds.
+type HistogramStats = server.HistogramStats
+
+// StageHistograms is the per-stage section of the /metrics latency
+// payload: one HistogramStats per StageTimer stage, counting only the
+// requests in which that stage actually ran.
+type StageHistograms = server.StageHistograms
+
+// ServerLatencyInfo is the latency section of /metrics: the overall
+// request-latency histogram, its split by serving path (fast_path,
+// fast_lane, windowed, direct), the per-stage histograms, and the
+// adaptive window controller's gauges (arrival rate, batch occupancy,
+// current window).
+type ServerLatencyInfo = server.LatencyInfo
+
+// ServerRuntimeInfo is the runtime section of /metrics: goroutine
+// count, heap in use, GC counters and the last GC pause — the vitals
+// latency spikes are correlated against.
+type ServerRuntimeInfo = server.RuntimeInfo
 
 // CoalescerStats is the batch coalescer's activity snapshot inside
 // ServerMetrics: admissions, dedup hits, batch sizes and seal reasons,
