@@ -17,11 +17,22 @@
 //	GET  /query?q=…&limit=…&offset=…        # same, for curl convenience
 //	POST /update   {"updates":[{"op":"insert","src":1,"label":"a","dst":2}]}
 //	GET  /explain?q=…                       # the plan, without executing
-//	GET  /healthz                           # liveness + current epoch
+//	GET  /healthz                           # ok | degraded | draining + epoch
 //	GET  /metrics                           # cache/coalescing/epoch/store counters
 //	POST /admin/snapshot                    # compact the log into a snapshot
 //
 // A wrong method on any endpoint answers 405 with an Allow header.
+//
+// Failure handling: a client that disconnects (or times out) abandons
+// its query, and a batch every waiter abandoned is cancelled instead of
+// computed; an evaluator panic is isolated to its own query (a query
+// string that keeps crashing is quarantined and rejected with 422); a
+// WAL or snapshot write failure drops the daemon to a read-only
+// degraded mode — /update answers 503 with Retry-After while /query
+// keeps serving the last durable epoch — probed every -probe-interval
+// and re-armed automatically when the medium recovers. /healthz
+// reports the ladder rung: "ok", "degraded" (with the reason) or
+// "draining" during graceful shutdown.
 //
 // With -data, every effective update batch is fsynced to a write-ahead
 // log before the client hears 200, and a snapshot (graph plus the cached
@@ -92,6 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		noCoalesce  = fs.Bool("no-coalesce", false, "evaluate each request immediately (baseline)")
 		dataDir     = fs.String("data", "", "persistence directory (snapshot + update log); a resident snapshot wins over -graph")
 		snapEvery   = fs.Int("snapshot-every", 0, "with -data, also snapshot every N effective update batches (0 = only on shutdown and /admin/snapshot)")
+		probeEvery  = fs.Duration("probe-interval", time.Second, "with -data, how often to probe a degraded store to re-enable updates")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this extra address (\":port\" binds 127.0.0.1; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -183,6 +195,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxQueuedBatches:  *maxQueued,
 		RequestTimeout:    *timeout,
 		DisableCoalescing: *noCoalesce,
+		ProbeInterval:     *probeEvery,
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -156,7 +156,7 @@ func TestTableIV(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
 	wantIDs := []string{
-		"ablations",
+		"ablations", "chaos",
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
 		"fig16", "latency", "layout", "persist", "planner", "serve",

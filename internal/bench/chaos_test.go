@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// chaosTestConfig keeps the chaos gate quick under `go test` while
+// still exercising every moving part (fault cycles included).
+func chaosTestConfig() RunConfig {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Clients = 4
+	return cfg
+}
+
+func TestRunChaosExperiment(t *testing.T) {
+	cs, err := RunChaosExperiment(chaosTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(cs.Rows))
+	}
+	r := cs.Rows[0]
+	if r.Requests == 0 || r.OKQueries == 0 || r.VerifiedCells == 0 {
+		t.Fatalf("empty run: %+v", r)
+	}
+	if r.OKQueries+r.ShedQueries != r.Requests {
+		t.Errorf("query accounting leaks: %d ok + %d shed != %d requests", r.OKQueries, r.ShedQueries, r.Requests)
+	}
+	if r.UpdatesCommitted+r.UpdatesShed != r.UpdateAttempts {
+		t.Errorf("update accounting leaks: %d + %d != %d", r.UpdatesCommitted, r.UpdatesShed, r.UpdateAttempts)
+	}
+	if r.FaultCycles != chaosFaultCycles {
+		t.Errorf("fault cycles = %d, want %d", r.FaultCycles, chaosFaultCycles)
+	}
+	// The gates RunChaosExperiment enforces internally, re-asserted on
+	// the visible report.
+	if r.CrossEpochHits != 0 {
+		t.Errorf("CrossEpochHits = %d", r.CrossEpochHits)
+	}
+	if !r.RestartIdentical {
+		t.Error("restart not fingerprint-identical")
+	}
+	if r.RecoverMS <= 0 {
+		t.Errorf("RecoverMS = %v, want > 0", r.RecoverMS)
+	}
+
+	var sb strings.Builder
+	cs.RenderChaos(&sb)
+	for _, col := range []string{"queries", "updates", "faults", "ladder", "verified"} {
+		if !strings.Contains(sb.String(), col) {
+			t.Errorf("render missing %q:\n%s", col, sb.String())
+		}
+	}
+}
+
+func TestChaosExperimentRegistered(t *testing.T) {
+	if _, ok := Lookup("chaos"); !ok {
+		t.Fatal("chaos experiment not in the registry")
+	}
+}
+
+// TestChaosRegistryAdapters drives the experiment through the registry
+// entry, the way cmd/rpqbench invokes it.
+func TestChaosRegistryAdapters(t *testing.T) {
+	exp, ok := Lookup("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	report, err := exp.JSON(io.Discard, chaosTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*ChaosSweep); !ok {
+		t.Fatalf("JSON adapter returned %T, want *ChaosSweep", report)
+	}
+}

@@ -32,6 +32,7 @@ type JSONReport struct {
 func Experiments() []Experiment {
 	exps := []Experiment{
 		{ID: "ablations", Title: "Ablations: design choices of DESIGN.md §6", Run: runAblations},
+		{ID: "chaos", Title: "Chaos (beyond the paper): fault-injected serving — availability, degraded episodes, recovery", Run: runChaos, JSON: jsonChaos},
 		{ID: "table3", Title: "Table III: complexity of R+G vs R̄+Ḡ (measured)", Run: runTable3},
 		{ID: "table4", Title: "Table IV: dataset statistics", Run: runTable4},
 		{ID: "fig10a", Title: "Fig. 10(a): response time vs degree, synthetic", Run: synth((*DegreeSweep).RenderFig10)},
@@ -84,6 +85,20 @@ func runTable3(w io.Writer, cfg RunConfig) error {
 	}
 	RenderTableIII(w, rows)
 	return nil
+}
+
+func runChaos(w io.Writer, cfg RunConfig) error {
+	_, err := jsonChaos(w, cfg)
+	return err
+}
+
+func jsonChaos(w io.Writer, cfg RunConfig) (any, error) {
+	cs, err := RunChaosExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cs.RenderChaos(w)
+	return cs, nil
 }
 
 func runParallel(w io.Writer, cfg RunConfig) error {

@@ -133,9 +133,16 @@ func (e *engineVersion) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, 
 	seen8 := &sc.seenB // the ResEq8 union, per v_i
 
 	// ResEq9 is an append-only list (useless-2 elimination), grouped by
-	// v_i because the relation's runs are walked in vertex order.
+	// v_i because the relation's runs are walked in vertex order. A
+	// cancellation checkpoint runs per Pre_G group and per expanded SCC:
+	// one v_i can expand O(|V|) pairs, so group granularity alone would
+	// not bound the stop latency.
+	var cancelErr error
 	resEq9 := sc.resEq9[:0]
 	preG.EachSrc(func(vi graph.VID, vjs []graph.VID) bool {
+		if cancelErr = e.checkpoint(len(vjs)); cancelErr != nil {
+			return false
+		}
 		seen7.reset()
 		seen8.reset()
 		if typ == rpq.ClosureStar {
@@ -162,7 +169,11 @@ func (e *engineVersion) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, 
 					continue
 				}
 				// Lines 11–12: expand members with no duplicate check.
-				for _, vk := range structure.Members(int32(sk)) {
+				members := structure.Members(int32(sk))
+				if cancelErr = e.checkpoint(len(members)); cancelErr != nil {
+					return false
+				}
+				for _, vk := range members {
 					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
 				}
 			}
@@ -171,6 +182,10 @@ func (e *engineVersion) EvalBatchUnit(preG *pairs.Relation, structure *rtc.RTC, 
 	})
 	sc.resEq9 = resEq9 // keep the grown buffer pooled
 	e.addPreJoin(time.Since(joinStart))
+	if cancelErr != nil {
+		e.releaseScratch(sc)
+		return nil, cancelErr
+	}
 
 	return e.joinPost(sc, post)
 }
@@ -187,8 +202,12 @@ func (e *engineVersion) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Clos
 	sc := e.acquireScratch()
 	seenV := &sc.seenA
 
+	var cancelErr error
 	resEq9 := sc.resEq9[:0]
 	preG.EachSrc(func(vi graph.VID, vjs []graph.VID) bool {
+		if cancelErr = e.checkpoint(len(vjs)); cancelErr != nil {
+			return false
+		}
 		seenV.reset()
 		if typ == rpq.ClosureStar {
 			for _, vj := range vjs {
@@ -201,7 +220,11 @@ func (e *engineVersion) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Clos
 			// Pair-level enumeration: vertices of From(v_j) repeat across
 			// the v_j of one v_i whenever their ends share SCCs — each
 			// repetition costs a duplicate check here (redundant-1/-2).
-			for _, vk := range closure.From(vj) {
+			from := closure.From(vj)
+			if cancelErr = e.checkpoint(len(from)); cancelErr != nil {
+				return false
+			}
+			for _, vk := range from {
 				if seenV.add(vk) {
 					resEq9 = append(resEq9, pairs.Pair{Src: vi, Dst: vk})
 				}
@@ -211,6 +234,10 @@ func (e *engineVersion) EvalBatchUnitFull(preG *pairs.Relation, closure *tc.Clos
 	})
 	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
+	if cancelErr != nil {
+		e.releaseScratch(sc)
+		return nil, cancelErr
+	}
 
 	return e.joinPost(sc, post)
 }
@@ -234,8 +261,12 @@ func (e *engineVersion) EvalBatchUnitBackward(preG *pairs.Relation, structure *r
 
 	// resEq9 holds (v_l, v_j): the R{+,*} ⋈ Post_G tuples transposed,
 	// grouped by the result end vertex v_l.
+	var cancelErr error
 	resEq9 := sc.resEq9[:0]
 	postG.EachDst(func(vl graph.VID, vks []graph.VID) bool {
+		if cancelErr = e.checkpoint(len(vks)); cancelErr != nil {
+			return false
+		}
 		seen7.reset()
 		seen8.reset()
 		if typ == rpq.ClosureStar {
@@ -257,7 +288,11 @@ func (e *engineVersion) EvalBatchUnitBackward(preG *pairs.Relation, structure *r
 				if !seen8.add(int32(sj)) {
 					continue
 				}
-				for _, vj := range structure.Members(int32(sj)) {
+				members := structure.Members(int32(sj))
+				if cancelErr = e.checkpoint(len(members)); cancelErr != nil {
+					return false
+				}
+				for _, vj := range members {
 					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
 				}
 			}
@@ -266,6 +301,10 @@ func (e *engineVersion) EvalBatchUnitBackward(preG *pairs.Relation, structure *r
 	})
 	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
+	if cancelErr != nil {
+		e.releaseScratch(sc)
+		return nil, cancelErr
+	}
 
 	return e.joinPreBackward(sc, preG)
 }
@@ -280,8 +319,12 @@ func (e *engineVersion) EvalBatchUnitFullBackward(preG *pairs.Relation, closure 
 	sc := e.acquireScratch()
 	seenV := &sc.seenA
 
+	var cancelErr error
 	resEq9 := sc.resEq9[:0]
 	postG.EachDst(func(vl graph.VID, vks []graph.VID) bool {
+		if cancelErr = e.checkpoint(len(vks)); cancelErr != nil {
+			return false
+		}
 		seenV.reset()
 		if typ == rpq.ClosureStar {
 			for _, vk := range vks {
@@ -291,7 +334,11 @@ func (e *engineVersion) EvalBatchUnitFullBackward(preG *pairs.Relation, closure 
 			}
 		}
 		for _, vk := range vks {
-			for _, vj := range closure.Into(vk) {
+			into := closure.Into(vk)
+			if cancelErr = e.checkpoint(len(into)); cancelErr != nil {
+				return false
+			}
+			for _, vj := range into {
 				if seenV.add(vj) {
 					resEq9 = append(resEq9, pairs.Pair{Src: vl, Dst: vj})
 				}
@@ -301,6 +348,10 @@ func (e *engineVersion) EvalBatchUnitFullBackward(preG *pairs.Relation, closure 
 	})
 	sc.resEq9 = resEq9
 	e.addPreJoin(time.Since(joinStart))
+	if cancelErr != nil {
+		e.releaseScratch(sc)
+		return nil, cancelErr
+	}
 
 	return e.joinPreBackward(sc, preG)
 }
@@ -326,7 +377,12 @@ func (e *engineVersion) joinPreBackward(sc *joinScratch, preG *pairs.Relation) (
 		seenVi.reset()
 		for ; i < len(resEq9) && resEq9[i].Src == vl; i++ {
 			vj := resEq9[i].Dst
-			for _, vi := range preG.SrcsOf(vj) {
+			srcs := preG.SrcsOf(vj)
+			if err := e.checkpoint(len(srcs) + 1); err != nil {
+				e.releaseBuilder(out)
+				return nil, err
+			}
+			for _, vi := range srcs {
 				if seenVi.add(vi) {
 					out.Add(vi, vl)
 				}
@@ -379,6 +435,10 @@ func (e *engineVersion) joinPost(sc *joinScratch, post rpq.Expr) (*pairs.Relatio
 		vi := resEq9[i].Src
 		seenVl.reset()
 		for ; i < len(resEq9) && resEq9[i].Src == vi; i++ {
+			if err := e.checkpoint(1); err != nil {
+				e.releaseBuilder(out)
+				return nil, err
+			}
 			vk := resEq9[i].Dst
 			if postIsEps {
 				// Post = ε: ResEq10 is ResEq9 de-duplicated. Duplicates

@@ -236,6 +236,19 @@ type engineShared struct {
 	// Fork/forkVersion and survives graph updates, so observations from
 	// any worker recalibrate the whole engine family.
 	calib *plan.Calibration
+
+	// cancel, when non-nil, is the cooperative-cancellation state of the
+	// evaluation running on this engine. Like stages it is only ever
+	// attached to private forks (one evaluation, one goroutine), so it
+	// is read in the join and closure hot loops without locking; see
+	// cancel.go.
+	cancel *cancelState
+
+	// evalHook, when non-nil, runs at the start of every
+	// EvaluateRel-pipeline evaluation — the fault-injection seam the
+	// panic-isolation tests use. Copied to forks; install via
+	// SetEvalHook before serving starts.
+	evalHook func(query string)
 }
 
 // engineVersion is everything whose lifetime is bounded by one graph
@@ -374,6 +387,7 @@ func (e *Engine) forkVersion(v *engineVersion) *Engine {
 			cache:     e.cache,
 			summaries: make(map[string]SharedSummary),
 			calib:     e.calib,
+			evalHook:  e.evalHook,
 		},
 	}
 	f.ver.Store(newEngineVersion(&f.engineShared, v.g, v.epoch))
@@ -553,6 +567,9 @@ func (e *Engine) CostCalibration() (factor float64, samples int) {
 // evaluateRel runs the EvaluateRel pipeline entirely against this
 // pinned version.
 func (v *engineVersion) evaluateRel(q rpq.Expr) (*pairs.Relation, error) {
+	if v.evalHook != nil {
+		v.evalHook(q.String())
+	}
 	if v.opts.Layout == LayoutMapSet {
 		set, err := v.evaluatePlannedMap(q, nil)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,7 +37,7 @@ import (
 // single graph epoch (the -race update stress test asserts exactly
 // this).
 func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set, error) {
-	results, _, err := evalBatchPinned(e, qs, workers, nil, (*Engine).Evaluate)
+	results, _, err := evalBatchPinned(e, nil, qs, workers, nil, (*Engine).Evaluate)
 	return results, err
 }
 
@@ -48,7 +49,7 @@ func (e *Engine) EvaluateBatchParallel(qs []rpq.Expr, workers int) ([]*pairs.Set
 // stamps every response with the one epoch the batch guarantee already
 // provides — all results of one call describe a single graph version.
 func (e *Engine) EvaluateBatchParallelRel(qs []rpq.Expr, workers int) ([]*pairs.Relation, uint64, error) {
-	return evalBatchPinned(e, qs, workers, nil, (*Engine).EvaluateRel)
+	return evalBatchPinned(e, nil, qs, workers, nil, (*Engine).EvaluateRel)
 }
 
 // EvaluateBatchParallelRelTimed is EvaluateBatchParallelRel with
@@ -60,34 +61,69 @@ func (e *Engine) EvaluateBatchParallelRel(qs []rpq.Expr, workers int) ([]*pairs.
 // and no synchronisation beyond the Stats mutex the hot path already
 // takes. timers may be nil (untimed) but must otherwise have len(qs).
 func (e *Engine) EvaluateBatchParallelRelTimed(qs []rpq.Expr, workers int, timers []*StageTimer) ([]*pairs.Relation, uint64, error) {
+	return e.EvaluateBatchParallelRelCtx(nil, qs, workers, timers)
+}
+
+// EvaluateBatchParallelRelCtx is EvaluateBatchParallelRelTimed with
+// cooperative cancellation: ctx (when non-nil) is attached to every
+// worker fork, and each evaluation polls it at the engine's amortized
+// checkpoints — closure-build loops, batch-unit joins, clause
+// boundaries — so a batch whose clients have all walked away stops
+// burning CPU within one checkpoint interval. The first ctx error
+// aborts the batch and is returned. ctx may be nil (uncancellable) and
+// timers may be nil (untimed); this is the coalescer's batch demux
+// entry point.
+func (e *Engine) EvaluateBatchParallelRelCtx(ctx context.Context, qs []rpq.Expr, workers int, timers []*StageTimer) ([]*pairs.Relation, uint64, error) {
 	if timers != nil && len(timers) != len(qs) {
 		timers = nil
 	}
-	return evalBatchPinned(e, qs, workers, timers, (*Engine).EvaluateRel)
+	return evalBatchPinned(e, ctx, qs, workers, timers, (*Engine).EvaluateRel)
 }
 
 // evalBatchPinned is the shared skeleton of the parallel batch
 // evaluators: pin one graph version, fan the queries over forked
-// workers (each fork pinned to that version), fold the workers' Stats
-// back into the receiver, and return the results in input order plus
-// the pinned epoch.
-func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, timers []*StageTimer, eval func(*Engine, rpq.Expr) (T, error)) ([]T, uint64, error) {
+// workers (each fork pinned to that version, with ctx attached when
+// cancellable), fold the workers' Stats back into the receiver, and
+// return the results in input order plus the pinned epoch. A panic
+// while evaluating one query is recovered into a *QueryPanicError and
+// aborts the batch like any other error — the worker goroutine, and
+// with it the serving daemon, survives.
+func evalBatchPinned[T any](e *Engine, ctx context.Context, qs []rpq.Expr, workers int, timers []*StageTimer, eval func(*Engine, rpq.Expr) (T, error)) ([]T, uint64, error) {
 	n := len(qs)
 	pinned := e.version()
 	if n == 0 {
 		return nil, pinned.epoch, nil
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, pinned.epoch, err
+		}
+	}
 	// evalTimed runs one query on a worker fork with that query's stage
 	// timer (if any) attached for the duration. The fork is private and
-	// evaluates one query at a time, so the timer has a single writer.
-	evalTimed := func(worker *Engine, i int) (T, error) {
-		if timers == nil || timers[i] == nil {
-			return eval(worker, qs[i])
+	// evaluates one query at a time, so the timer has a single writer;
+	// the deferred detach keeps a panicking query from leaking its timer
+	// onto the fork's next evaluation.
+	evalTimed := func(worker *Engine, i int) (res T, err error) {
+		timed := timers != nil && timers[i] != nil
+		if timed {
+			worker.setStages(timers[i])
 		}
-		worker.setStages(timers[i])
-		res, err := eval(worker, qs[i])
-		worker.setStages(nil)
-		return res, err
+		defer func() {
+			// recover must run directly in this deferred function; the
+			// helper then folds a non-nil panic value into err.
+			r := recover()
+			if timed {
+				worker.setStages(nil)
+			}
+			asPanicError(qs[i].String(), r, &err)
+		}()
+		return eval(worker, qs[i])
+	}
+	newWorker := func() *Engine {
+		worker := e.forkVersion(pinned)
+		worker.setCancel(ctx)
+		return worker
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -97,7 +133,7 @@ func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, timers []*Sta
 	}
 	if workers <= 1 {
 		// Serial fallback, still pinned to one version via a fork.
-		worker := e.forkVersion(pinned)
+		worker := newWorker()
 		out := make([]T, n)
 		for i := range qs {
 			res, err := evalTimed(worker, i)
@@ -120,7 +156,7 @@ func evalBatchPinned[T any](e *Engine, qs []rpq.Expr, workers int, timers []*Sta
 		wg      sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
-		engines[w] = e.forkVersion(pinned)
+		engines[w] = newWorker()
 		wg.Add(1)
 		go func(w int, worker *Engine) {
 			defer wg.Done()

@@ -117,6 +117,15 @@ func (e *engineVersion) evaluatePlanned(q rpq.Expr, obs *planObserver) (*pairs.R
 		merge  *pairs.Builder
 	)
 	for i := range qp.Clauses {
+		// Clause boundary: a cheap cancellation checkpoint between clause
+		// executions (the joins and closure builds inside a clause carry
+		// their own, finer-grained checkpoints).
+		if err := e.checkpoint(1); err != nil {
+			if merge != nil {
+				e.releaseBuilder(merge)
+			}
+			return nil, err
+		}
 		t0 := time.Now()
 		clauseG, act, err := e.execClause(&qp.Clauses[i])
 		if err != nil {
@@ -264,7 +273,12 @@ func (e *engineVersion) subEvaluateRel(q rpq.Expr) (*pairs.Relation, error) {
 		return rel, nil
 	}
 	t0 := time.Now()
-	val, computed, retained, err := e.cache.GetOrComputeRelation(e.epoch, key, func() (any, error) {
+	// The compute closure runs under the cache's singleflight; a panic
+	// inside it would leave co-waiters blocked forever, so it is recovered
+	// into an error here — the cache then drops the entry and unblocks
+	// every waiter with the error.
+	val, computed, retained, err := e.cache.GetOrComputeRelation(e.epoch, key, func() (v any, err error) {
+		defer recoverPanic(key, &err)
 		return e.evaluatePlanned(q, nil)
 	})
 	if !computed {
@@ -312,7 +326,8 @@ func (e *engineVersion) getRTC(r rpq.Expr) (*rtc.RTC, error) {
 	}
 	key := nsRTC + r.String()
 	t0 := time.Now()
-	val, computed, err := e.cache.GetOrCompute(e.epoch, key, func() (any, error) {
+	val, computed, err := e.cache.GetOrCompute(e.epoch, key, func() (v any, err error) {
+		defer recoverPanic(r.String(), &err)
 		return e.computeRTC(r)
 	})
 	if !computed {
@@ -370,10 +385,15 @@ func (e *engineVersion) computeRTC(r rpq.Expr) (*rtcValue, error) {
 	// Shared_Data for RTCSharing: the vertex-level reduction (Tarjan +
 	// condensation) and TC(Ḡ_R). The paper attributes the reduction
 	// overhead here too — it is what makes RTCSharing slightly slower
-	// than FullSharing on the Yago2s shape.
+	// than FullSharing on the Yago2s shape. The closure build polls the
+	// engine's cancellation checkpoint (if any): it is the dominant cost
+	// of an RTC, so an abandoned query stops here, not after.
 	t0 := time.Now()
-	structure := rtc.Compute(gr, e.opts.TCAlgo) // line 11: Compute_RTC
+	structure, err := rtc.ComputeCheck(gr, e.opts.TCAlgo, e.checkpointFn()) // line 11: Compute_RTC
 	e.addShared(time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
 
 	return &rtcValue{
 		structure: structure,
@@ -400,7 +420,8 @@ func (e *engineVersion) getFullClosure(r rpq.Expr) (*tc.Closure, error) {
 		return v.closure, nil
 	}
 	t0 := time.Now()
-	val, computed, err := e.cache.GetOrCompute(e.epoch, nsFull+r.String(), func() (any, error) {
+	val, computed, err := e.cache.GetOrCompute(e.epoch, nsFull+r.String(), func() (v any, err error) {
+		defer recoverPanic(r.String(), &err)
 		return e.computeFullClosure(r)
 	})
 	if !computed {
@@ -423,10 +444,13 @@ func (e *engineVersion) computeFullClosure(r rpq.Expr) (*fullValue, error) {
 	}
 
 	// Shared_Data for FullSharing: the closure of the *unreduced* G_R —
-	// Table III's O(|V_R|·|E_R|) computation.
+	// Table III's O(|V_R|·|E_R|) computation, checkpointed per source.
 	t0 := time.Now()
-	closure := tc.BFS(gr)
+	closure, err := tc.BFSCheck(gr, e.checkpointFn())
 	e.addShared(time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
 
 	return &fullValue{
 		closure: closure,

@@ -103,22 +103,8 @@ func (e *Engine) ApplyUpdates(updates []GraphUpdate) (UpdateResult, error) {
 	if e.live == nil {
 		e.live = graph.MutableFromGraph(v.g)
 	}
-	n := graph.VID(e.live.NumVertices())
-	for i, u := range updates {
-		if u.Op != OpInsertEdge && u.Op != OpDeleteEdge {
-			return UpdateResult{Epoch: v.epoch}, fmt.Errorf("core: update %d: unknown op %v", i, u.Op)
-		}
-		if u.Src < 0 || u.Src >= n || u.Dst < 0 || u.Dst >= n {
-			return UpdateResult{Epoch: v.epoch}, fmt.Errorf("core: update %d: edge (%d,%q,%d) out of range [0,%d)", i, u.Src, u.Label, u.Dst, n)
-		}
-		// Insert labels are validated up front so a bad label rejects the
-		// whole batch before anything mutates (batch atomicity); deletes
-		// stay permissive — an uninsertable label is simply never present.
-		if u.Op == OpInsertEdge {
-			if err := graph.ValidateLabel(u.Label); err != nil {
-				return UpdateResult{Epoch: v.epoch}, fmt.Errorf("core: update %d: %w", i, err)
-			}
-		}
+	if err := validateUpdates(updates, graph.VID(e.live.NumVertices())); err != nil {
+		return UpdateResult{Epoch: v.epoch}, err
 	}
 
 	// Apply, keeping only the effective deltas: the migration below
@@ -181,6 +167,39 @@ func (e *Engine) ApplyUpdates(updates []GraphUpdate) (UpdateResult, error) {
 	res.Epoch = newEpoch
 	e.ver.Store(newEngineVersion(&e.engineShared, newG, newEpoch))
 	return res, nil
+}
+
+// ValidateUpdates checks a batch against the engine's current vertex
+// space and label rules without mutating anything — the same validation
+// ApplyUpdates performs before touching the graph, exposed so a
+// durability layer can reject a bad batch before logging it (the
+// log-before-apply discipline of store.Persistent). The vertex space is
+// fixed for an engine's lifetime, so a batch that validates now also
+// validates inside a later ApplyUpdates.
+func (e *Engine) ValidateUpdates(updates []GraphUpdate) error {
+	return validateUpdates(updates, graph.VID(e.version().g.NumVertices()))
+}
+
+// validateUpdates rejects unknown ops, out-of-range endpoints and (for
+// inserts) invalid labels. Insert labels are validated up front so a
+// bad label rejects the whole batch before anything mutates (batch
+// atomicity); deletes stay permissive — an uninsertable label is simply
+// never present.
+func validateUpdates(updates []GraphUpdate, n graph.VID) error {
+	for i, u := range updates {
+		if u.Op != OpInsertEdge && u.Op != OpDeleteEdge {
+			return fmt.Errorf("core: update %d: unknown op %v", i, u.Op)
+		}
+		if u.Src < 0 || u.Src >= n || u.Dst < 0 || u.Dst >= n {
+			return fmt.Errorf("core: update %d: edge (%d,%q,%d) out of range [0,%d)", i, u.Src, u.Label, u.Dst, n)
+		}
+		if u.Op == OpInsertEdge {
+			if err := graph.ValidateLabel(u.Label); err != nil {
+				return fmt.Errorf("core: update %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // migrateEntry decides one cached entry's fate across an epoch advance.

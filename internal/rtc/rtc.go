@@ -71,6 +71,22 @@ func (a TCAlgorithm) closureFunc() func(*graph.DiGraph) *tc.Closure {
 	}
 }
 
+// closureCheckFunc is closureFunc for the checkpointed variants: the
+// same algorithm selection, with a cancellation checkpoint threaded
+// into the closure build.
+func (a TCAlgorithm) closureCheckFunc() func(*graph.DiGraph, tc.Checkpoint) (*tc.Closure, error) {
+	switch a {
+	case PurdomClosure:
+		return tc.PurdomCheck
+	case NuutilaClosure:
+		return tc.NuutilaCheck
+	case BitsetClosure:
+		return tc.BitsetTopoCheck
+	default:
+		return tc.BFSCheck
+	}
+}
+
 // EdgeReduce performs the edge-level reduction G → G_R: every vertex pair
 // of R_G becomes one unlabeled edge (Section III-A). numVertices is |V|
 // of the original graph, so G_R shares G's VID space.
@@ -101,6 +117,20 @@ func Compute(gr *graph.DiGraph, algo TCAlgorithm) *RTC {
 		condensation: cond,
 		closure:      algo.closureFunc()(cond),
 	}
+}
+
+// ComputeCheck is Compute with a cancellation checkpoint threaded into
+// the closure build — the dominant cost of an RTC on large reductions.
+// The Tarjan and condensation passes run to completion regardless; a
+// checkpoint abort surfaces as the checkpoint's error with a nil RTC.
+func ComputeCheck(gr *graph.DiGraph, algo TCAlgorithm, check tc.Checkpoint) (*RTC, error) {
+	comps := scc.Tarjan(gr)
+	cond := scc.Condense(gr, comps)
+	closure, err := algo.closureCheckFunc()(cond, check)
+	if err != nil {
+		return nil, err
+	}
+	return &RTC{comps: comps, condensation: cond, closure: closure}, nil
 }
 
 // FromParts reassembles an RTC from its three structures — the SCC

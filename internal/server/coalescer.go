@@ -46,8 +46,11 @@ type waiterEntry struct {
 
 // pendingQuery is one distinct query of a forming batch with every
 // request waiting on it — the dedup unit: any number of concurrent
-// clients asking the same query string ride one evaluation.
+// clients asking the same query string ride one evaluation. key is the
+// dedup identity (the query string the requests carried), kept so the
+// error fallback can attribute panics to the right quarantine entry.
 type pendingQuery struct {
+	key     string
 	expr    rpq.Expr
 	waiters []waiterEntry
 }
@@ -58,12 +61,36 @@ type pendingQuery struct {
 // reached, and is then sealed — immutable, stamped with its seal time,
 // handed to a dispatcher for one EvaluateBatchParallelRel call, and
 // demultiplexed back to its waiters.
+//
+// Every batch carries its own context (independent of any one request's
+// — waiters have different deadlines): live counts the waiters still
+// parked on the batch, and when the batch is sealed and the last of
+// them walks away, cancel fires so an evaluation nobody will read stops
+// at its next checkpoint instead of running to completion. sealedFlag
+// mirrors sealed for the abandon path, which runs without the
+// coalescer's lock.
 type batch struct {
 	queries  []*pendingQuery
 	index    map[string]int
 	timer    *time.Timer
 	sealed   bool
 	sealedAt time.Time
+
+	ctx        context.Context
+	cancel     context.CancelFunc
+	live       atomic.Int32
+	sealedFlag atomic.Bool
+}
+
+// abandon records one waiter walking away (timeout or client
+// disconnect). The last waiter of a sealed batch cancels the batch's
+// context; with the store ordering here (decrement, then load the flag)
+// against seal's (set the flag, then load the count), at least one side
+// observes the other, and cancel is idempotent if both do.
+func (b *batch) abandon() {
+	if b.live.Add(-1) == 0 && b.sealedFlag.Load() {
+		b.cancel()
+	}
 }
 
 // sealReason tags why a batch left the window, for CoalescerStats.
@@ -121,6 +148,10 @@ type coalescer struct {
 	classEpoch uint64
 	classCheap map[string]bool
 
+	// quar tracks query strings that panicked the evaluator; blocked
+	// ones are rejected at admission with ErrQuarantined.
+	quar *quarantine
+
 	wg sync.WaitGroup
 
 	// Counters behind CoalescerStats, all atomic.
@@ -131,6 +162,8 @@ type coalescer struct {
 	sealedByWindow, sealedBySize         atomic.Int64
 	sealedByFlush                        atomic.Int64
 	rejected, evalErrors, abandoned      atomic.Int64
+	panics, batchesCancelled             atomic.Int64
+	quarantineRejected                   atomic.Int64
 }
 
 // newCoalescer starts the dispatcher pool: opts.MaxInFlight goroutines
@@ -143,6 +176,7 @@ func newCoalescer(engine *core.Engine, opts Options) *coalescer {
 		queue:      make(chan *batch, opts.MaxQueuedBatches),
 		fastSem:    make(chan struct{}, opts.FastLaneSlots),
 		classCheap: make(map[string]bool),
+		quar:       newQuarantine(),
 	}
 	for i := 0; i < opts.MaxInFlight; i++ {
 		c.wg.Add(1)
@@ -182,6 +216,16 @@ func (c *coalescer) classifyCheap(key string, expr rpq.Expr) (bool, int64) {
 	return cheap, time.Since(t0).Nanoseconds()
 }
 
+// notePanic inspects an evaluation error and, when it is a recovered
+// panic, counts it and charges it to key's quarantine entry.
+func (c *coalescer) notePanic(key string, err error) {
+	var pe *core.QueryPanicError
+	if errors.As(err, &pe) {
+		c.panics.Add(1)
+		c.quar.note(key)
+	}
+}
+
 // submit admits one parsed query and blocks until its batch's result is
 // demultiplexed back, the context expires, or admission fails. key must
 // be the query string the request carried — it is the dedup identity.
@@ -189,9 +233,24 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	c.submitted.Add(1)
 	now := time.Now()
 	c.ctrl.noteArrival(now)
+	if ctx != nil {
+		// A request whose context is already done (client gone, or the
+		// deadline burned up in handler parsing) must not occupy a window
+		// slot: nobody will read the result, and under a disconnect storm
+		// those dead slots would seal batches early and evaluate work with
+		// zero readers. Refuse before admission instead.
+		if err := ctx.Err(); err != nil {
+			c.abandoned.Add(1)
+			return result{err: err}
+		}
+	}
 	if c.closedFlag.Load() {
 		c.rejected.Add(1)
 		return result{err: ErrShuttingDown}
+	}
+	if c.quar.blocked(key) {
+		c.quarantineRejected.Add(1)
+		return result{err: ErrQuarantined}
 	}
 	if c.opts.DisableCoalescing {
 		// The coalescing-off baseline: evaluate on the shared engine
@@ -201,7 +260,8 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 		// are gone, which is exactly what the serve experiment measures.
 		c.direct.Add(1)
 		var st core.StageTimer
-		rel, epoch, err := c.engine.EvaluateRelTimed(expr, &st)
+		rel, epoch, err := c.engine.EvaluateRelTimedCtx(ctx, expr, &st)
+		c.notePanic(key, err)
 		return result{rel: rel, epoch: epoch, err: err, stages: st, path: pathDirect}
 	}
 
@@ -226,9 +286,10 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 			case c.fastSem <- struct{}{}:
 				var st core.StageTimer
 				st.PlanNS += planNS
-				rel, epoch, err := c.engine.EvaluateRelTimed(expr, &st)
+				rel, epoch, err := c.engine.EvaluateRelTimedCtx(ctx, expr, &st)
 				<-c.fastSem
 				c.fastLaneHits.Add(1)
+				c.notePanic(key, err)
 				return result{rel: rel, epoch: epoch, err: err, stages: st, path: pathFastLane}
 			default:
 			}
@@ -245,15 +306,20 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	b := c.pending
 	if b == nil {
 		b = &batch{index: make(map[string]int)}
+		// The batch's own context, not any request's: waiters come and
+		// go with different deadlines, and the batch must keep evaluating
+		// as long as at least one of them is still listening.
+		b.ctx, b.cancel = context.WithCancel(context.Background())
 		b.timer = time.AfterFunc(c.ctrl.window(), func() { c.seal(b, sealWindow) })
 		c.pending = b
 	}
+	b.live.Add(1)
 	if i, ok := b.index[key]; ok {
 		c.dedupHits.Add(1)
 		b.queries[i].waiters = append(b.queries[i].waiters, w)
 	} else {
 		b.index[key] = len(b.queries)
-		b.queries = append(b.queries, &pendingQuery{expr: expr, waiters: []waiterEntry{w}})
+		b.queries = append(b.queries, &pendingQuery{key: key, expr: expr, waiters: []waiterEntry{w}})
 	}
 	full := len(b.queries) >= c.opts.MaxBatch
 	c.mu.Unlock()
@@ -265,10 +331,14 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 	case r := <-w.ch:
 		return r
 	case <-ctx.Done():
-		// The per-request timeout: the waiter walks away; the batch
-		// still evaluates (its result may serve the other waiters and
-		// warms the cache), the buffered channel absorbs the late send.
+		// The per-request timeout or client disconnect: the waiter walks
+		// away; the batch still evaluates if anyone else is listening
+		// (its result serves the other waiters and warms the cache) and
+		// the buffered channel absorbs the late send — but the LAST
+		// waiter to abandon a sealed batch cancels its evaluation, so
+		// work nobody will read stops at the next engine checkpoint.
 		c.abandoned.Add(1)
+		b.abandon()
 		return result{err: ctx.Err()}
 	}
 }
@@ -286,6 +356,13 @@ func (c *coalescer) seal(b *batch, reason sealReason) {
 	b.sealedAt = time.Now()
 	c.pending = nil
 	b.timer.Stop()
+	// From here no new waiter can join (c.pending moved on), so live only
+	// decreases. Publish the flag, then check the count: the mirror-image
+	// ordering of batch.abandon, so the two can race but not both miss.
+	b.sealedFlag.Store(true)
+	if b.live.Load() == 0 {
+		b.cancel()
+	}
 	switch reason {
 	case sealWindow:
 		c.sealedByWindow.Add(1)
@@ -314,20 +391,44 @@ func (c *coalescer) seal(b *batch, reason sealReason) {
 }
 
 // dispatch is one evaluation slot: batches evaluate one at a time per
-// slot, opts.MaxInFlight slots in parallel.
+// slot, opts.MaxInFlight slots in parallel. A panic escaping a batch
+// evaluation kills only that batch, never the slot: the engine already
+// recovers per-query panics into errors, so anything reaching here is a
+// bug outside the per-query boundary — the waiters get an error and the
+// slot keeps draining the queue.
 func (c *coalescer) dispatch() {
 	defer c.wg.Done()
 	for b := range c.queue {
-		c.evaluate(b)
+		c.evaluateIsolated(b)
 	}
+}
+
+// evaluateIsolated runs one batch with a last-resort recover around it.
+func (c *coalescer) evaluateIsolated(b *batch) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			demux(b, nil, nil, 0, &core.QueryPanicError{Query: "(batch)", Value: r})
+		}
+	}()
+	c.evaluate(b)
 }
 
 // evaluate runs one sealed batch through the engine and demultiplexes
 // the sealed relations back to the waiters. The whole batch is pinned
-// to one graph epoch by EvaluateBatchParallelRel, so every response of
+// to one graph epoch by the engine's batch call, so every response of
 // one window describes a single graph version even when /update lands
-// mid-batch.
+// mid-batch. The batch's context rides along: a batch whose waiters
+// have all walked away is skipped before it starts, or aborted at the
+// engine's next checkpoint if they leave mid-evaluation.
 func (c *coalescer) evaluate(b *batch) {
+	defer b.cancel()
+	if b.live.Load() == 0 {
+		// Every waiter abandoned while the batch sat in the queue: the
+		// evaluation would have zero readers, so skip it entirely.
+		c.batchesCancelled.Add(1)
+		return
+	}
 	exprs := make([]rpq.Expr, len(b.queries))
 	timers := make([]*core.StageTimer, len(b.queries))
 	waiters := 0
@@ -339,7 +440,7 @@ func (c *coalescer) evaluate(b *batch) {
 	// Queue stage: sealed but waiting for this dispatcher slot. It is
 	// per-batch (every query of the batch waited it out together).
 	queueNS := time.Since(b.sealedAt).Nanoseconds()
-	rels, epoch, err := c.engine.EvaluateBatchParallelRelTimed(exprs, c.opts.Workers, timers)
+	rels, epoch, err := c.engine.EvaluateBatchParallelRelCtx(b.ctx, exprs, c.opts.Workers, timers)
 	c.ctrl.noteBatch(waiters)
 	c.batches.Add(1)
 	c.batchQueries.Add(int64(waiters))
@@ -354,22 +455,33 @@ func (c *coalescer) evaluate(b *batch) {
 		timers[i].QueueNS = queueNS
 	}
 	if err != nil {
+		if b.ctx.Err() != nil {
+			// The batch itself was cancelled: every waiter already left
+			// with its own context error, so there is nobody to serve and
+			// a per-query retry would just redo abandoned work.
+			c.batchesCancelled.Add(1)
+			demux(b, nil, timers, 0, err)
+			return
+		}
 		// One failing query must not fail its co-batched neighbours:
 		// the batch call aborts as a whole, so fall back to evaluating
 		// each distinct query individually and demultiplex per-query
 		// results and errors. Only the failing queries pay twice, and
 		// only on this error path. The fallback runs on one Fork, whose
 		// pinned graph version keeps the batch's single-epoch guarantee
-		// even if an update lands between the per-query evaluations.
+		// even if an update lands between the per-query evaluations; the
+		// panic-safe Ctx entry point recovers a poisoned query into its
+		// own error (counted, quarantined) while its neighbours succeed.
 		c.evalErrors.Add(1)
 		worker := c.engine.Fork()
 		for i, pq := range b.queries {
 			*timers[i] = core.StageTimer{QueueNS: queueNS}
-			rel, qEpoch, qErr := worker.EvaluateRelTimed(pq.expr, timers[i])
+			rel, qEpoch, qErr := worker.EvaluateRelTimedCtx(b.ctx, pq.expr, timers[i])
+			c.notePanic(pq.key, qErr)
 			r := result{rel: rel, epoch: qEpoch, err: qErr, stages: *timers[i]}
 			for _, w := range pq.waiters {
 				r.stages.CoalesceWaitNS = b.sealedAt.Sub(w.enqueued).Nanoseconds()
-				w.ch <- r
+				sendResult(w.ch, r)
 			}
 		}
 		return
@@ -394,8 +506,21 @@ func demux(b *batch, rels []*pairs.Relation, timers []*core.StageTimer, epoch ui
 			if !b.sealedAt.IsZero() {
 				r.stages.CoalesceWaitNS = b.sealedAt.Sub(w.enqueued).Nanoseconds()
 			}
-			w.ch <- r
+			sendResult(w.ch, r)
 		}
+	}
+}
+
+// sendResult delivers one result without ever blocking the demux. Each
+// waiter channel is buffered with capacity 1 and receives exactly one
+// send on every normal path, so the buffer is always free; the default
+// arm exists so a bug upstream (a double demux from the dispatcher's
+// last-resort recover) degrades to a dropped duplicate instead of a
+// wedged dispatcher slot.
+func sendResult(ch waiter, r result) {
+	select {
+	case ch <- r:
+	default:
 	}
 }
 
@@ -461,30 +586,46 @@ type CoalescerStats struct {
 	SealedByFlush  int64 `json:"sealed_by_flush"`
 
 	// Rejected counts queries turned away by admission control;
-	// Abandoned counts waiters that hit their per-request timeout;
-	// EvalErrors counts batches whose evaluation failed.
+	// Abandoned counts waiters that hit their per-request timeout or
+	// disconnected (including requests arriving with an already-expired
+	// context, refused before taking a window slot); EvalErrors counts
+	// batches whose evaluation failed.
 	Rejected   int64 `json:"rejected"`
 	Abandoned  int64 `json:"abandoned"`
 	EvalErrors int64 `json:"eval_errors"`
+
+	// Panics counts evaluator panics recovered into per-query errors;
+	// BatchesCancelled counts batches skipped or aborted because every
+	// waiter abandoned them; QuarantineRejected counts queries refused
+	// at admission because their string is quarantined, and
+	// QuarantineSize is how many crashed strings are currently tracked.
+	Panics             int64 `json:"panics"`
+	BatchesCancelled   int64 `json:"batches_cancelled"`
+	QuarantineRejected int64 `json:"quarantine_rejected"`
+	QuarantineSize     int64 `json:"quarantine_size"`
 }
 
 // stats snapshots the counters.
 func (c *coalescer) stats() CoalescerStats {
 	return CoalescerStats{
-		Submitted:        c.submitted.Load(),
-		Direct:           c.direct.Load(),
-		DedupHits:        c.dedupHits.Load(),
-		FastPathHits:     c.fastPathHits.Load(),
-		FastLaneHits:     c.fastLaneHits.Load(),
-		Batches:          c.batches.Load(),
-		BatchQueries:     c.batchQueries.Load(),
-		BatchDistinct:    c.batchDistinct.Load(),
-		MaxBatchDistinct: c.maxBatchDistinct.Load(),
-		SealedByWindow:   c.sealedByWindow.Load(),
-		SealedBySize:     c.sealedBySize.Load(),
-		SealedByFlush:    c.sealedByFlush.Load(),
-		Rejected:         c.rejected.Load(),
-		Abandoned:        c.abandoned.Load(),
-		EvalErrors:       c.evalErrors.Load(),
+		Submitted:          c.submitted.Load(),
+		Direct:             c.direct.Load(),
+		DedupHits:          c.dedupHits.Load(),
+		FastPathHits:       c.fastPathHits.Load(),
+		FastLaneHits:       c.fastLaneHits.Load(),
+		Batches:            c.batches.Load(),
+		BatchQueries:       c.batchQueries.Load(),
+		BatchDistinct:      c.batchDistinct.Load(),
+		MaxBatchDistinct:   c.maxBatchDistinct.Load(),
+		SealedByWindow:     c.sealedByWindow.Load(),
+		SealedBySize:       c.sealedBySize.Load(),
+		SealedByFlush:      c.sealedByFlush.Load(),
+		Rejected:           c.rejected.Load(),
+		Abandoned:          c.abandoned.Load(),
+		EvalErrors:         c.evalErrors.Load(),
+		Panics:             c.panics.Load(),
+		BatchesCancelled:   c.batchesCancelled.Load(),
+		QuarantineRejected: c.quarantineRejected.Load(),
+		QuarantineSize:     int64(c.quar.size()),
 	}
 }

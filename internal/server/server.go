@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtcshare/internal/core"
@@ -91,6 +92,12 @@ type Options struct {
 	// persistence section. The wrapped engine must be the same one the
 	// server evaluates on.
 	Persist *store.Persistent
+	// ProbeInterval is how often the server probes a degraded persistent
+	// engine to re-arm updates (the degradation ladder's automatic
+	// recovery). Default 1s; ignored when Persist is nil. The probe is
+	// a no-op while the engine is healthy, so the loop costs nothing in
+	// the steady state.
+	ProbeInterval time.Duration
 }
 
 // withDefaults fills the zero fields with the documented defaults.
@@ -125,6 +132,9 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
 	return o
 }
 
@@ -140,6 +150,14 @@ type Server struct {
 	start  time.Time
 	lat    latencyRecorder
 
+	// draining flips on Close so /healthz reports the shutdown to load
+	// balancers while in-flight batches finish.
+	draining atomic.Bool
+
+	// probeStop ends the degraded-probe loop; probeWG waits it out.
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
 	closeOnce sync.Once
 }
 
@@ -149,11 +167,12 @@ type Server struct {
 func New(engine *core.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		engine: engine,
-		opts:   opts,
-		coal:   newCoalescer(engine, opts),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		engine:    engine,
+		opts:      opts,
+		coal:      newCoalescer(engine, opts),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		probeStop: make(chan struct{}),
 	}
 	s.route("/query", methods{"GET": s.handleQuery, "POST": s.handleQuery})
 	s.route("/update", methods{"POST": s.handleUpdate})
@@ -161,7 +180,32 @@ func New(engine *core.Engine, opts Options) *Server {
 	s.route("/healthz", methods{"GET": s.handleHealthz})
 	s.route("/metrics", methods{"GET": s.handleMetrics})
 	s.route("/admin/snapshot", methods{"POST": s.handleSnapshot})
+	if opts.Persist != nil {
+		// The degradation ladder's re-arm: periodically ask the store
+		// whether it can commit again. Persist.Probe is free while the
+		// engine is healthy, so the ticker costs nothing until a
+		// persistence failure actually flips the degraded flag.
+		s.probeWG.Add(1)
+		go s.probeLoop()
+	}
 	return s
+}
+
+// probeLoop periodically re-probes a degraded persistent engine until
+// Close. Probe errors are expected while the fault persists; the loop
+// just tries again next tick.
+func (s *Server) probeLoop() {
+	defer s.probeWG.Done()
+	t := time.NewTicker(s.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+			_ = s.opts.Persist.Probe()
+		}
+	}
 }
 
 // methods maps HTTP methods to their handler for one path.
@@ -202,11 +246,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close drains the coalescer: in-flight and pending batches finish and
-// answer their waiters, new queries are rejected with 503. It does not
+// answer their waiters, new queries are rejected with 503, /healthz
+// flips to "draining", and the degraded-probe loop stops. It does not
 // close HTTP listeners — pair it with http.Server.Shutdown, as
 // rtcshare.Serve does.
 func (s *Server) Close() error {
-	s.closeOnce.Do(s.coal.close)
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.probeStop)
+		s.probeWG.Wait()
+		s.coal.close()
+	})
 	return nil
 }
 
@@ -301,7 +351,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res := s.coal.submit(ctx, req.Query, expr)
 	if res.err != nil {
-		writeError(w, queryStatus(res.err), res.err)
+		status := queryStatus(res.err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
+		writeError(w, status, res.err)
 		return
 	}
 
@@ -327,16 +381,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// retryAfterSeconds is the Retry-After value sent with every 503 shed
+// (overload, shutdown, degraded writes): transient conditions a client
+// should retry after a short backoff rather than treat as failure.
+const retryAfterSeconds = "1"
+
 // queryStatus maps a submit error to its HTTP status.
 func queryStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrOverloaded),
 		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQuarantined):
+		// The request is well-formed but the server refuses to evaluate
+		// this exact string again after repeated evaluator crashes. Not
+		// transient (no Retry-After): retrying gets the same answer.
+		return http.StatusUnprocessableEntity
+	case isPanicError(err):
+		// A recovered evaluator panic is a server bug surfaced as a
+		// per-query error, not a client mistake.
+		return http.StatusInternalServerError
 	default:
 		// Evaluation-time query errors (e.g. the DNF bound).
 		return http.StatusBadRequest
 	}
+}
+
+// isPanicError reports whether err is a recovered evaluator panic.
+func isPanicError(err error) bool {
+	var pe *core.QueryPanicError
+	return errors.As(err, &pe)
 }
 
 // UpdateRequest is the body of POST /update: a batch of edge updates
@@ -398,6 +472,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := apply(updates)
 	if err != nil {
+		// The degradation ladder's write rung: while persistence cannot
+		// commit — including the very call that flipped the flag — the
+		// update was observably never accepted, and the client should
+		// retry after the probe loop re-arms. Anything else is a client
+		// error (validation), reported as 400.
+		if s.opts.Persist != nil {
+			if degraded, _, _ := s.opts.Persist.Degraded(); degraded {
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -503,19 +589,45 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Status is the ladder
+// rung: "ok" (fully serving), "degraded" (read-only — queries serve the
+// last durable epoch, updates are 503 until persistence recovers) or
+// "draining" (Close ran; in-flight work finishes, new queries are shed).
 type HealthResponse struct {
 	Status       string  `json:"status"`
 	Epoch        uint64  `json:"epoch"`
 	UptimeMillis float64 `json:"uptime_ms"`
+	// Reason explains a non-ok status; DegradedSince stamps when the
+	// degraded rung was entered.
+	Reason        string    `json:"reason,omitempty"`
+	DegradedSince time.Time `json:"degraded_since,omitzero"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:       "ok",
 		Epoch:        s.engine.Epoch(),
 		UptimeMillis: float64(time.Since(s.start)) / float64(time.Millisecond),
-	})
+	}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		// Draining outranks degraded: the process is leaving the pool
+		// either way, and a load balancer must stop routing to it.
+		resp.Status = "draining"
+		resp.Reason = "server closing: in-flight batches finishing, new queries shed"
+		status = http.StatusServiceUnavailable
+	case s.opts.Persist != nil:
+		if degraded, reason, since := s.opts.Persist.Degraded(); degraded {
+			// Still 200: the node serves queries (the last durable
+			// epoch) and must stay in read pools; the status string and
+			// /metrics carry the read-only warning.
+			resp.Status = "degraded"
+			resp.Reason = reason
+			resp.DegradedSince = since
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // GraphInfo summarises the served graph for /metrics.
@@ -673,11 +785,27 @@ func (s *Server) persistInfo() *store.PersistInfo {
 	return &info
 }
 
+// SnapshotErrorResponse is the body of a failed POST /admin/snapshot:
+// the error plus the degradation state the failure left behind, so an
+// operator sees "the snapshot failed AND the node is now read-only" in
+// one response instead of having to correlate with /metrics.
+type SnapshotErrorResponse struct {
+	Error          string    `json:"error"`
+	Degraded       bool      `json:"degraded"`
+	DegradedReason string    `json:"degraded_reason,omitempty"`
+	DegradedSince  time.Time `json:"degraded_since,omitzero"`
+	// SnapshotErrors counts snapshot-commit failures over the process
+	// lifetime (this one included).
+	SnapshotErrors int `json:"snapshot_errors"`
+}
+
 // handleSnapshot serves POST /admin/snapshot: capture the engine's
 // current state, write it as the new snapshot and reset the update log.
 // Without persistence configured the endpoint exists but refuses with
 // 409 — a deliberate "the server cannot do that", distinct from both
-// 404 (no such endpoint) and 405 (wrong method).
+// 404 (no such endpoint) and 405 (wrong method). A mid-commit failure
+// returns a structured JSON error body carrying the degradation state
+// it caused, and is counted on /metrics (snapshot_errors, last_error).
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Persist == nil {
 		writeError(w, http.StatusConflict, errors.New("persistence not enabled (start rpqd with -data)"))
@@ -685,7 +813,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.opts.Persist.Snapshot()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		degraded, reason, since := s.opts.Persist.Degraded()
+		writeJSON(w, http.StatusInternalServerError, SnapshotErrorResponse{
+			Error:          err.Error(),
+			Degraded:       degraded,
+			DegradedReason: reason,
+			DegradedSince:  since,
+			SnapshotErrors: s.opts.Persist.Metrics().SnapshotErrors,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, info)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,14 @@ import (
 	"rtcshare/internal/core"
 	"rtcshare/internal/graph"
 )
+
+// ErrDegraded rejects updates while the engine is in read-only degraded
+// mode: a WAL append or snapshot commit failed, so accepting further
+// mutations would let the in-memory state run ahead of what the store
+// can recover. Queries keep serving the last durable epoch; Probe
+// re-arms updates once the backend commits again. rpqd maps this to
+// 503 + Retry-After.
+var ErrDegraded = errors.New("store: degraded (read-only)")
 
 // Options configures a Persistent engine's compaction policy.
 type Options struct {
@@ -18,20 +27,33 @@ type Options struct {
 	SnapshotEvery int
 }
 
-// Persistent wraps a core.Engine so every effective update batch is
-// durably logged before ApplyUpdates returns, and the snapshot can be
-// compacted on demand or every N batches. Reads (Evaluate, Explain,
-// Metrics…) go straight to the embedded engine; only the mutation path
-// is shadowed.
+// Persistent wraps a core.Engine so every update batch is durably
+// logged before it is applied (log-before-apply: a batch the store
+// cannot commit never mutates memory, so the in-memory state never runs
+// ahead of what a restart recovers), and the snapshot can be compacted
+// on demand or every N batches. Reads (Evaluate, Explain, Metrics…) go
+// straight to the embedded engine; only the mutation path is shadowed.
+//
+// Persistence failures degrade rather than crash: a failed WAL append
+// or snapshot commit flips the wrapper into read-only degraded mode —
+// ApplyUpdates returns ErrDegraded, queries keep serving the last
+// durable epoch — until a successful Probe re-arms it.
 type Persistent struct {
 	*core.Engine
 
 	store Store
 
-	mu            sync.Mutex // serialises apply+log and snapshot
+	mu            sync.Mutex // serialises apply+log, snapshot and the degraded state
 	snapshotEvery int
 	sinceSnapshot int
 	recovery      RecoveryInfo
+
+	degraded        bool
+	degradedReason  string
+	degradedSince   time.Time
+	walAppendErrors int
+	snapshotErrors  int
+	lastErr         string
 }
 
 // RecoveryInfo describes how the engine reached its boot state — served
@@ -74,6 +96,18 @@ type PersistInfo struct {
 	BatchesSinceSnapshot int          `json:"batches_since_snapshot"`
 	SnapshotEvery        int          `json:"snapshot_every"`
 	Recovery             RecoveryInfo `json:"recovery"`
+
+	// Degraded / DegradedReason / DegradedSince describe the read-only
+	// ladder rung: set while a persistence failure has updates disabled,
+	// cleared by a successful Probe.
+	Degraded       bool      `json:"degraded"`
+	DegradedReason string    `json:"degraded_reason,omitempty"`
+	DegradedSince  time.Time `json:"degraded_since,omitzero"`
+	// WALAppendErrors / SnapshotErrors count persistence failures over
+	// the process lifetime; LastError is the most recent one's text.
+	WALAppendErrors int    `json:"wal_append_errors"`
+	SnapshotErrors  int    `json:"snapshot_errors"`
+	LastError       string `json:"last_error,omitempty"`
 }
 
 // Open boots a Persistent engine from s. If s holds a snapshot, the
@@ -105,7 +139,11 @@ func Open(s Store, seed *graph.Graph, opts core.Options, popts Options) (*Persis
 			if err != nil {
 				return fmt.Errorf("store: replay epoch %d: %w", b.Epoch, err)
 			}
-			if res.Epoch != b.Epoch {
+			// Log-before-apply tags records with a predicted epoch, so a
+			// batch that turned out wholly ineffective leaves a no-op
+			// record whose tag the engine never reaches — ineffective on
+			// replay too, and exempt from the divergence check.
+			if res.Epoch != b.Epoch && res.Inserted+res.Deleted > 0 {
 				return fmt.Errorf("store: replay diverged: batch logged at epoch %d, replay reached %d", b.Epoch, res.Epoch)
 			}
 			info.ReplayedBatches++
@@ -138,27 +176,44 @@ func Open(s Store, seed *graph.Graph, opts core.Options, popts Options) (*Persis
 	return p, info, nil
 }
 
-// ApplyUpdates shadows the engine's: the batch is applied in memory
-// first, then — if it had any effect — durably logged, then counted
-// toward the automatic-snapshot threshold. An ineffective batch
-// (all no-ops) advances no epoch and writes no record.
+// ApplyUpdates shadows the engine's with the log-before-apply
+// discipline: the batch is validated (so a malformed batch is rejected
+// before it costs a log record), durably logged at the predicted epoch,
+// and only then applied in memory. The orderings' guarantee is that
+// memory never runs ahead of the log — a failed append leaves the
+// engine exactly at its last durable state, flips the wrapper into
+// read-only degraded mode, and the client's update was observably never
+// accepted. A batch that turns out wholly ineffective leaves a no-op
+// record in the log (the cost of predicting the epoch), which replay
+// tolerates.
 func (p *Persistent) ApplyUpdates(updates []core.GraphUpdate) (core.UpdateResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	epoch := p.Engine.Epoch()
+	if p.degraded {
+		return core.UpdateResult{Epoch: epoch}, fmt.Errorf("%w: %s", ErrDegraded, p.degradedReason)
+	}
+	if err := p.Engine.ValidateUpdates(updates); err != nil {
+		return core.UpdateResult{Epoch: epoch}, err
+	}
+	if err := p.store.AppendBatch(epoch+1, updates); err != nil {
+		p.walAppendErrors++
+		p.degradeLocked("wal append failed", err)
+		return core.UpdateResult{Epoch: epoch}, fmt.Errorf("store: update rejected, not logged (now degraded): %w", err)
+	}
 	res, err := p.Engine.ApplyUpdates(updates)
 	if err != nil {
+		// Validation passed, so this is an engine invariant failure; the
+		// logged record is at worst a no-op on replay of the same state.
 		return res, err
 	}
 	if res.Inserted+res.Deleted == 0 {
 		return res, nil
 	}
-	if err := p.store.AppendBatch(res.Epoch, updates); err != nil {
-		return res, fmt.Errorf("store: batch applied in memory but not logged (durability lost until next snapshot): %w", err)
-	}
 	p.sinceSnapshot++
 	if p.snapshotEvery > 0 && p.sinceSnapshot >= p.snapshotEvery {
 		if _, err := p.snapshotLocked(); err != nil {
-			return res, fmt.Errorf("store: batch logged but auto-snapshot failed: %w", err)
+			return res, fmt.Errorf("store: batch logged and applied but auto-snapshot failed (now degraded): %w", err)
 		}
 	}
 	return res, nil
@@ -176,6 +231,8 @@ func (p *Persistent) snapshotLocked() (SnapshotInfo, error) {
 	start := time.Now()
 	st := p.Engine.SnapshotState()
 	if err := p.store.WriteSnapshot(st); err != nil {
+		p.snapshotErrors++
+		p.degradeLocked("snapshot commit failed", err)
 		return SnapshotInfo{}, err
 	}
 	p.sinceSnapshot = 0
@@ -187,6 +244,47 @@ func (p *Persistent) snapshotLocked() (SnapshotInfo, error) {
 		Relations:  len(st.Relations),
 		WallMillis: float64(time.Since(start).Nanoseconds()) / 1e6,
 	}, nil
+}
+
+// degradeLocked enters read-only degraded mode (idempotently) and
+// records the failure. Callers hold p.mu.
+func (p *Persistent) degradeLocked(reason string, err error) {
+	p.lastErr = err.Error()
+	if p.degraded {
+		return
+	}
+	p.degraded = true
+	p.degradedReason = reason
+	p.degradedSince = time.Now()
+}
+
+// Degraded reports whether updates are disabled, with the reason and
+// the time the ladder rung was entered.
+func (p *Persistent) Degraded() (degraded bool, reason string, since time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.degraded, p.degradedReason, p.degradedSince
+}
+
+// Probe asks the store whether it can commit again and, when it can,
+// re-arms updates. It is cheap when not degraded (no I/O) so a periodic
+// caller — rpqd's probe loop — can run it unconditionally. It returns
+// the store's verdict; a nil return means updates are (or already were)
+// enabled.
+func (p *Persistent) Probe() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.degraded {
+		return nil
+	}
+	if err := p.store.Probe(); err != nil {
+		p.lastErr = err.Error()
+		return err
+	}
+	p.degraded = false
+	p.degradedReason = ""
+	p.degradedSince = time.Time{}
+	return nil
 }
 
 // Recovery reports how this engine booted.
@@ -205,6 +303,12 @@ func (p *Persistent) Metrics() PersistInfo {
 		BatchesSinceSnapshot: p.sinceSnapshot,
 		SnapshotEvery:        p.snapshotEvery,
 		Recovery:             p.recovery,
+		Degraded:             p.degraded,
+		DegradedReason:       p.degradedReason,
+		DegradedSince:        p.degradedSince,
+		WALAppendErrors:      p.walAppendErrors,
+		SnapshotErrors:       p.snapshotErrors,
+		LastError:            p.lastErr,
 	}
 }
 

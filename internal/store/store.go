@@ -31,9 +31,12 @@ import (
 var ErrNoSnapshot = errors.New("store: no snapshot")
 
 // LoggedBatch is one write-ahead-log record: the update batch and the
-// graph epoch the engine reached by applying it. Only effective batches
-// are logged (a wholly no-op batch advances no epoch and needs no
-// record), so consecutive records carry consecutive epochs.
+// graph epoch the engine is expected to reach by applying it. Under
+// Persistent's log-before-apply discipline the epoch is predicted
+// (current + 1) before the batch runs, so a batch that turns out wholly
+// ineffective leaves a no-op record whose tag the engine never reaches;
+// replay tolerates those (an ineffective batch is ineffective on replay
+// too), and effective records still carry strictly increasing epochs.
 type LoggedBatch struct {
 	Epoch   uint64
 	Updates []core.GraphUpdate
@@ -61,6 +64,12 @@ type Store interface {
 	// ends the stream silently: everything before it replays, the tail
 	// is discarded (it was never acknowledged, or the medium lost it).
 	ReplayBatches(afterEpoch uint64, fn func(LoggedBatch) error) error
+	// Probe verifies the backend can commit again after a failure —
+	// repairing any partial state a failed append or rotation left
+	// behind (e.g. a torn WAL tail) and test-writing the medium. A nil
+	// return means AppendBatch and WriteSnapshot may be retried; the
+	// degradation ladder in Persistent calls this to re-arm updates.
+	Probe() error
 	// Stats reports the backend's size bookkeeping.
 	Stats() Stats
 	// Close releases the backend's resources.

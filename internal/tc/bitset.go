@@ -39,16 +39,22 @@ const denseBreakEven = 1.0
 // default closure for the columnar engine layout; tc_test.go holds it to
 // the same outputs as BFS, Purdom and Nuutila.
 func Bitset(d *graph.DiGraph) *Closure {
+	c, _ := bitsetChecked(d, nil)
+	return c
+}
+
+// bitsetChecked is Bitset with an optional cancellation checkpoint.
+func bitsetChecked(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	comps := scc.Tarjan(d)
 	k := comps.NumComponents()
 	if k == 0 {
-		return &Closure{numVertices: d.NumVertices(), succ: make([][]graph.VID, d.NumVertices())}
+		return &Closure{numVertices: d.NumVertices(), succ: make([][]graph.VID, d.NumVertices())}, nil
 	}
 	cond := scc.Condense(d, comps)
 	if float64(cond.NumEdges()) >= denseBreakEven*float64(k) {
-		return bitsetDense(d.NumVertices(), comps, cond)
+		return bitsetDense(d.NumVertices(), comps, cond, check)
 	}
-	return bitsetSparse(d.NumVertices(), comps, cond)
+	return bitsetSparse(d.NumVertices(), comps, cond, check)
 }
 
 // BitsetTopo computes the closure of a digraph whose vertex numbering
@@ -62,6 +68,12 @@ func Bitset(d *graph.DiGraph) *Closure {
 // scan; inputs that violate it fall back to Bitset, so the function is
 // correct on any digraph.
 func BitsetTopo(d *graph.DiGraph) *Closure {
+	c, _ := bitsetTopo(d, nil)
+	return c
+}
+
+// bitsetTopo is BitsetTopo with an optional cancellation checkpoint.
+func bitsetTopo(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	ordered := true
 	d.Edges(func(s, t graph.VID) bool {
 		if t > s {
@@ -71,26 +83,30 @@ func BitsetTopo(d *graph.DiGraph) *Closure {
 		return true
 	})
 	if !ordered {
-		return Bitset(d)
+		return bitsetChecked(d, check)
 	}
 	k := d.NumVertices()
 	if k == 0 {
-		return &Closure{numVertices: 0, succ: nil}
+		return &Closure{numVertices: 0, succ: nil}, nil
 	}
 	if float64(d.NumEdges()) >= denseBreakEven*float64(k) {
-		return bitsetTopoDense(d)
+		return bitsetTopoDense(d, check)
 	}
-	return bitsetTopoSparse(d)
+	return bitsetTopoSparse(d, check)
 }
 
 // bitsetTopoDense is bitsetDense with singleton components: rows are
 // indexed by vertex, and each finished row is decoded straight into the
 // sorted successor slice (ascending bit order is ascending VID order).
-func bitsetTopoDense(d *graph.DiGraph) *Closure {
+// The checkpoint is consulted once per row in both passes.
+func bitsetTopoDense(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	k := d.NumVertices()
 	words := (k + 63) / 64
 	slab := make([]uint64, k*words)
 	for s := 0; s < k; s++ {
+		if err := checkRows(check, words); err != nil {
+			return nil, err
+		}
 		row := bitset(slab[s*words : (s+1)*words])
 		for _, t := range d.Successors(graph.VID(s)) {
 			row.set(t)
@@ -101,6 +117,9 @@ func bitsetTopoDense(d *graph.DiGraph) *Closure {
 	}
 	c := &Closure{numVertices: k, succ: make([][]graph.VID, k)}
 	for s := 0; s < k; s++ {
+		if err := checkRows(check, words); err != nil {
+			return nil, err
+		}
 		row := bitset(slab[s*words : (s+1)*words])
 		n := row.count()
 		if n == 0 {
@@ -116,24 +135,33 @@ func bitsetTopoDense(d *graph.DiGraph) *Closure {
 		c.succ[s] = out
 		c.numPairs += n
 	}
-	return c
+	return c, nil
 }
 
 // bitsetTopoSparse is bitsetSparse with singleton components: the
 // per-source reach lists are the successor slices themselves, sorted.
-func bitsetTopoSparse(d *graph.DiGraph) *Closure {
+// The worker-parallel reachLists phase is uncheckpointed (the
+// Checkpoint contract is single-goroutine); the checkpoint brackets it
+// and then runs per list during the sort pass.
+func bitsetTopoSparse(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	k := d.NumVertices()
+	if err := checkRows(check, 1); err != nil {
+		return nil, err
+	}
 	lists := reachLists(d)
 	c := &Closure{numVertices: k, succ: make([][]graph.VID, k)}
 	for s, reach := range lists {
 		if len(reach) == 0 {
 			continue
 		}
+		if err := checkRows(check, len(reach)); err != nil {
+			return nil, err
+		}
 		slices.Sort(reach)
 		c.succ[s] = reach
 		c.numPairs += len(reach)
 	}
-	return c
+	return c, nil
 }
 
 // bitsetDense is the word-parallel path: one bitset row per component in
@@ -141,12 +169,15 @@ func bitsetTopoSparse(d *graph.DiGraph) *Closure {
 // topological order. Tarjan emits components in reverse topological
 // order, so SIDs 0..k-1 are a valid processing order — every successor
 // of a component has a smaller SID and therefore a finished row.
-func bitsetDense(numVertices int, comps *scc.Components, cond *graph.DiGraph) *Closure {
+func bitsetDense(numVertices int, comps *scc.Components, cond *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	k := comps.NumComponents()
 	words := (k + 63) / 64
 	slab := make([]uint64, k*words)
 	reach := make([]bitset, k)
 	for s := int32(0); s < int32(k); s++ {
+		if err := checkRows(check, words); err != nil {
+			return nil, err
+		}
 		row := bitset(slab[int(s)*words : (int(s)+1)*words])
 		for _, t := range cond.Successors(s) {
 			row.set(t)
@@ -156,13 +187,18 @@ func bitsetDense(numVertices int, comps *scc.Components, cond *graph.DiGraph) *C
 		}
 		reach[s] = row
 	}
-	return expand(numVertices, comps, reach)
+	return expand(numVertices, comps, reach, check)
 }
 
 // bitsetSparse is the worker-parallel path: an independent frontier BFS
 // over the condensation per source component, then SCC-wise expansion.
-func bitsetSparse(numVertices int, comps *scc.Components, cond *graph.DiGraph) *Closure {
-	return expandLists(numVertices, comps, reachLists(cond))
+// The parallel BFS phase is uncheckpointed; the expansion checks per
+// successor list.
+func bitsetSparse(numVertices int, comps *scc.Components, cond *graph.DiGraph, check Checkpoint) (*Closure, error) {
+	if err := checkRows(check, 1); err != nil {
+		return nil, err
+	}
+	return expandLists(numVertices, comps, reachLists(cond), check)
 }
 
 // reachLists runs one frontier BFS per source vertex of d, vertices
@@ -227,8 +263,9 @@ func reachLists(d *graph.DiGraph) [][]graph.VID {
 
 // expandLists is expand for per-component reach lists instead of
 // bitsets: u reaches every member of every component in
-// lists[comp(u)] (Lemma 3 / Theorem 1).
-func expandLists(numVertices int, comps *scc.Components, lists [][]graph.VID) *Closure {
+// lists[comp(u)] (Lemma 3 / Theorem 1). check, when non-nil, is
+// consulted once per expanded successor list.
+func expandLists(numVertices int, comps *scc.Components, lists [][]graph.VID, check Checkpoint) (*Closure, error) {
 	c := &Closure{numVertices: numVertices, succ: make([][]graph.VID, numVertices)}
 	k := comps.NumComponents()
 
@@ -240,6 +277,9 @@ func expandLists(numVertices int, comps *scc.Components, lists [][]graph.VID) *C
 		size := 0
 		for _, t := range lists[s] {
 			size += len(comps.Members[t])
+		}
+		if err := checkRows(check, size+1); err != nil {
+			return nil, err
 		}
 		out := make([]graph.VID, 0, size)
 		for _, t := range lists[s] {
@@ -255,5 +295,5 @@ func expandLists(numVertices int, comps *scc.Components, lists [][]graph.VID) *C
 			c.numPairs += len(expanded[s])
 		}
 	}
-	return c
+	return c, nil
 }

@@ -58,9 +58,10 @@ func TestBitsetSparseDeterministic(t *testing.T) {
 	d := b.Build()
 	comps := scc.Tarjan(d)
 	cond := scc.Condense(d, comps)
-	want := bitsetSparse(d.NumVertices(), comps, cond)
+	want, _ := bitsetSparse(d.NumVertices(), comps, cond, nil)
 	for i := 0; i < 3; i++ {
-		if !bitsetSparse(d.NumVertices(), comps, cond).Equal(want) {
+		got, _ := bitsetSparse(d.NumVertices(), comps, cond, nil)
+		if !got.Equal(want) {
 			t.Fatal("sparse closure not deterministic across runs")
 		}
 	}
@@ -106,10 +107,12 @@ func TestBitsetTopoOnCondensations(t *testing.T) {
 		cond := scc.Condense(d, comps)
 
 		want := BFS(cond)
+		dense, _ := bitsetTopoDense(cond, nil)
+		sparse, _ := bitsetTopoSparse(cond, nil)
 		for name, got := range map[string]*Closure{
 			"auto":   BitsetTopo(cond),
-			"dense":  bitsetTopoDense(cond),
-			"sparse": bitsetTopoSparse(cond),
+			"dense":  dense,
+			"sparse": sparse,
 		} {
 			if !got.Equal(want) {
 				t.Fatalf("seed %d: BitsetTopo(%s) disagrees with BFS on the condensation", seed, name)

@@ -143,15 +143,27 @@ func (c *Closure) Equal(other *Closure) bool {
 // BFS computes the closure by a breadth-first search from every active
 // vertex: O(|V|·|E|) time, the complexity the paper quotes in Table III.
 func BFS(d *graph.DiGraph) *Closure {
+	c, _ := bfs(d, nil)
+	return c
+}
+
+// bfs is BFS with an optional per-source cancellation checkpoint.
+func bfs(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	n := d.NumVertices()
 	c := &Closure{numVertices: n, succ: make([][]graph.VID, n)}
 	visited := make([]uint32, n)
 	gen := uint32(0)
 	queue := make([]graph.VID, 0, 64)
 
+	// lastRows is the work of the previous source's search, spent
+	// against the checkpoint budget before starting the next one.
+	lastRows := 1
 	for _, u := range d.ActiveVertices() {
 		if d.OutDegree(u) == 0 {
 			continue
+		}
+		if err := checkRows(check, lastRows); err != nil {
+			return nil, err
 		}
 		gen++
 		queue = queue[:0]
@@ -179,8 +191,9 @@ func BFS(d *graph.DiGraph) *Closure {
 		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
 		c.succ[u] = reach
 		c.numPairs += len(reach)
+		lastRows = len(reach) + 1
 	}
-	return c
+	return c, nil
 }
 
 // bitset is a fixed-width bitmap over component IDs.
@@ -210,6 +223,12 @@ func (b bitset) count() int {
 // sets, then expand component reachability back to vertex pairs
 // (the expansion is Lemma 3's Cartesian product).
 func Purdom(d *graph.DiGraph) *Closure {
+	c, _ := purdom(d, nil)
+	return c
+}
+
+// purdom is Purdom with an optional per-component checkpoint.
+func purdom(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	comps := scc.Tarjan(d)
 	cond := scc.Condense(d, comps)
 	k := comps.NumComponents()
@@ -218,7 +237,11 @@ func Purdom(d *graph.DiGraph) *Closure {
 	// 0..k-1 are already a valid processing order (all successors of a
 	// component have smaller SIDs).
 	reach := make([]bitset, k)
+	words := (k + 63) / 64
 	for s := int32(0); s < int32(k); s++ {
+		if err := checkRows(check, words); err != nil {
+			return nil, err
+		}
 		r := newBitset(k)
 		for _, t := range cond.Successors(s) {
 			r.set(t)
@@ -228,7 +251,7 @@ func Purdom(d *graph.DiGraph) *Closure {
 		}
 		reach[s] = r
 	}
-	return expand(d.NumVertices(), comps, reach)
+	return expand(d.NumVertices(), comps, reach, check)
 }
 
 // Nuutila computes the closure with Nuutila's interleaved algorithm [13]:
@@ -236,6 +259,12 @@ func Purdom(d *graph.DiGraph) *Closure {
 // the fact that when a component is emitted every component it can reach
 // has already been emitted.
 func Nuutila(d *graph.DiGraph) *Closure {
+	c, _ := nuutila(d, nil)
+	return c
+}
+
+// nuutila is Nuutila with an optional per-component checkpoint.
+func nuutila(d *graph.DiGraph, check Checkpoint) (*Closure, error) {
 	comps := scc.Tarjan(d)
 	k := comps.NumComponents()
 	reach := make([]bitset, k)
@@ -244,7 +273,11 @@ func Nuutila(d *graph.DiGraph) *Closure {
 	// component, fold in the reach sets of the components its member
 	// edges point to. This is the interleaving Nuutila describes, with
 	// the DFS already folded into Tarjan.
+	words := (k + 63) / 64
 	for s := int32(0); s < int32(k); s++ {
+		if err := checkRows(check, words); err != nil {
+			return nil, err
+		}
 		r := newBitset(k)
 		for _, u := range comps.Members[s] {
 			for _, w := range d.Successors(u) {
@@ -257,13 +290,14 @@ func Nuutila(d *graph.DiGraph) *Closure {
 		}
 		reach[s] = r
 	}
-	return expand(d.NumVertices(), comps, reach)
+	return expand(d.NumVertices(), comps, reach, check)
 }
 
 // expand converts component-level reachability to the vertex-level
 // closure: u reaches every member of every component in reach[comp(u)]
-// (Lemma 3 / Theorem 1).
-func expand(numVertices int, comps *scc.Components, reach []bitset) *Closure {
+// (Lemma 3 / Theorem 1). check, when non-nil, is consulted once per
+// expanded successor list.
+func expand(numVertices int, comps *scc.Components, reach []bitset, check Checkpoint) (*Closure, error) {
 	c := &Closure{numVertices: numVertices, succ: make([][]graph.VID, numVertices)}
 	k := comps.NumComponents()
 
@@ -282,6 +316,9 @@ func expand(numVertices int, comps *scc.Components, reach []bitset) *Closure {
 				size += len(comps.Members[t])
 			}
 		}
+		if err := checkRows(check, size+1); err != nil {
+			return nil, err
+		}
 		out := make([]graph.VID, 0, size)
 		for t := int32(0); t < int32(k); t++ {
 			if reach[s].get(t) {
@@ -298,5 +335,5 @@ func expand(numVertices int, comps *scc.Components, reach []bitset) *Closure {
 			c.numPairs += len(expanded[s])
 		}
 	}
-	return c
+	return c, nil
 }

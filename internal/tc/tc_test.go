@@ -55,14 +55,16 @@ func algorithms() map[string]func(*graph.DiGraph) *Closure {
 			if comps.NumComponents() == 0 {
 				return Bitset(d)
 			}
-			return bitsetDense(d.NumVertices(), comps, scc.Condense(d, comps))
+			c, _ := bitsetDense(d.NumVertices(), comps, scc.Condense(d, comps), nil)
+			return c
 		},
 		"BitsetSparse": func(d *graph.DiGraph) *Closure {
 			comps := scc.Tarjan(d)
 			if comps.NumComponents() == 0 {
 				return Bitset(d)
 			}
-			return bitsetSparse(d.NumVertices(), comps, scc.Condense(d, comps))
+			c, _ := bitsetSparse(d.NumVertices(), comps, scc.Condense(d, comps), nil)
+			return c
 		},
 	}
 }

@@ -490,3 +490,64 @@ func OpenStore(dir string) (Store, error) { return store.OpenDir(dir) }
 func OpenEngine(s Store, seed *Graph, opts Options, popts PersistOptions) (*PersistentEngine, RecoveryInfo, error) {
 	return store.Open(s, seed, opts, popts)
 }
+
+// ErrDegraded is returned by PersistentEngine.ApplyUpdates while the
+// engine is in read-only degraded mode: a WAL append or snapshot commit
+// failed, so accepting further mutations would let memory run ahead of
+// what a restart recovers. Queries keep serving the last durable epoch;
+// a successful PersistentEngine.Probe re-arms updates (rpqd probes
+// automatically and answers 503 + Retry-After meanwhile).
+var ErrDegraded = store.ErrDegraded
+
+// ErrQuarantined is returned through /query (as HTTP 422) for a query
+// string that repeatedly panicked the evaluator: the panic is recovered
+// and isolated each time, but a string that keeps crashing is rejected
+// at admission so one pathological input cannot crash-loop the daemon.
+var ErrQuarantined = server.ErrQuarantined
+
+// ErrInjected marks a failure manufactured by a FaultInjector; tests
+// match on it with errors.Is to tell injected faults from real ones.
+var ErrInjected = store.ErrInjected
+
+// QueryPanicError reports a panic recovered during one query's
+// evaluation: the query text, the panic value and the captured stack.
+// Batch neighbours are unaffected; rpqd answers the panicking query
+// with HTTP 500 and quarantines the string if it keeps crashing.
+type QueryPanicError = core.QueryPanicError
+
+// FaultOp identifies one class of file operation a FaultInjector can
+// fail: FaultWrite, FaultSync or FaultRename.
+type FaultOp = store.FaultOp
+
+// The FaultOp kinds: data writes, fsyncs, and atomic-replace renames.
+const (
+	FaultWrite  = store.OpWrite
+	FaultSync   = store.OpSync
+	FaultRename = store.OpRename
+)
+
+// FaultInjector decides, deterministically from a seed, which store
+// file operations fail — probabilistically (Arm), by countdown
+// (FailNth), optionally tearing writes halfway (ShortWrites). Drive a
+// NewFaultyStore or OpenStoreFaulty with one to exercise the
+// degradation ladder; see DESIGN.md §13.
+type FaultInjector = store.Injector
+
+// NewFaultInjector returns an injector with no faults armed. A fixed
+// seed and a fixed operation sequence reproduce the same fault pattern.
+func NewFaultInjector(seed int64) *FaultInjector { return store.NewInjector(seed) }
+
+// NewFaultyStore wraps any Store so its mutating operations (AppendBatch,
+// WriteSnapshot, Probe) fail according to inj; reads pass through. Place
+// it beneath OpenEngine to test how a deployment behaves when the disk
+// misbehaves.
+func NewFaultyStore(inner Store, inj *FaultInjector) Store { return store.NewFaulty(inner, inj) }
+
+// OpenStoreFaulty is OpenStore with inj consulted at the directory
+// backend's write/sync/rename sites, failing the real file operations
+// themselves — the deeper seam, exercising atomic rotation and WAL
+// tail-repair against real files (NewFaultyStore fails at the Store
+// interface boundary instead).
+func OpenStoreFaulty(dir string, inj *FaultInjector) (Store, error) {
+	return store.OpenDirFaulty(dir, inj)
+}
