@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{ID: "persist", Title: "Persist (beyond the paper): cold-rebuild boot vs snapshot-restore boot", Run: runPersist, JSON: jsonPersist},
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
 		{ID: "serve", Title: "Serve (beyond the paper): closed-loop HTTP, batch coalescing on vs off", Run: runServe, JSON: jsonServe},
+		{ID: "shard", Title: "Shard (beyond the paper): label-partitioned in-process cluster vs single engine", Run: runShard, JSON: jsonShard},
 		{ID: "updates", Title: "Updates (beyond the paper): incremental maintenance vs rebuild-from-scratch", Run: runUpdates, JSON: jsonUpdates},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
@@ -161,6 +162,20 @@ func jsonLatency(w io.Writer, cfg RunConfig) (any, error) {
 	}
 	ls.RenderLatency(w)
 	return ls, nil
+}
+
+func runShard(w io.Writer, cfg RunConfig) error {
+	_, err := jsonShard(w, cfg)
+	return err
+}
+
+func jsonShard(w io.Writer, cfg RunConfig) (any, error) {
+	ss, err := RunShardExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss.RenderShard(w)
+	return ss, nil
 }
 
 func jsonServe(w io.Writer, cfg RunConfig) (any, error) {

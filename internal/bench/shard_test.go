@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardExperiment runs the sharded-vs-single experiment end to end
+// at harness scale through the registry adapter (which renders and
+// JSON-encodes) and directly, pinning the row shape and the enforced
+// gates: every row identical, zero cross-epoch hits, scatter traffic
+// actually flowing at >1 shards.
+func TestShardExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxN = 1
+
+	e, ok := Lookup("shard")
+	if !ok {
+		t.Fatal("shard experiment missing from the registry")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Shard experiment") {
+		t.Error("render output missing the header")
+	}
+
+	ss, err := RunShardExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workload families × the 1/2/4 shard-count sweep.
+	if len(ss.Rows) != 2*len(shardCounts) {
+		t.Fatalf("rows = %d, want %d", len(ss.Rows), 2*len(shardCounts))
+	}
+	var scattered int64
+	for _, r := range ss.Rows {
+		if !r.Identical {
+			t.Errorf("%s/%s shards=%d: identity gate not recorded", r.Dataset, r.Family, r.Shards)
+		}
+		if r.CrossEpochHits != 0 {
+			t.Errorf("%s/%s shards=%d: %d cross-epoch hits", r.Dataset, r.Family, r.Shards, r.CrossEpochHits)
+		}
+		if r.SingleWall <= 0 || r.ClusterWall <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s/%s shards=%d: non-positive walls %v/%v", r.Dataset, r.Family, r.Shards, r.SingleWall, r.ClusterWall)
+		}
+		if r.SingleWallMS <= 0 || r.ClusterWallMS <= 0 {
+			t.Errorf("%s/%s shards=%d: non-positive ms renderings %v/%v", r.Dataset, r.Family, r.Shards, r.SingleWallMS, r.ClusterWallMS)
+		}
+		if r.Shards > 1 {
+			scattered += r.RTCRequests + r.ClosureRequests + r.RelationRequests
+		}
+	}
+	if scattered == 0 {
+		t.Error("no scatter traffic on any multi-shard row")
+	}
+}

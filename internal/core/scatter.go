@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/rtc"
+	"rtcshare/internal/tc"
+)
+
+// This file is the engine's scatter seam: the hook a sharded coordinator
+// installs to route shared-structure and sub-relation work to the engine
+// shard owning the labels involved, and the shard-side entry points that
+// work arrives at. The seam sits exactly at the paper's decomposition
+// boundary — a clause plan names its Pre, R+/R_G and Post components, and
+// each component's evaluation is a self-contained unit keyed by canonical
+// sub-query text — so scattering is a drop-in replacement for the local
+// SharedCache probe, with the anchor join still running on the
+// coordinator over the gathered sealed columns.
+//
+// Epoch discipline: every hook call carries the epoch of the version the
+// coordinator pinned at evaluation start. The shard answers only when its
+// own current epoch matches; otherwise it declines (ok=false) and the
+// coordinator computes locally against its private cache, where the
+// straggler rules of sharedcache.go already make an old-epoch computation
+// correct and un-shared. Declines are therefore a graceful-degradation
+// path, not an error path — the cluster-epoch barrier in internal/shard
+// makes them rare, and the unbarriered fallbacks (the coalescer's
+// error-path forks) stay correct through them.
+
+// ScatterHook routes shared-structure and sub-relation evaluations to an
+// external owner. A coordinator engine installs one via SetScatterHook;
+// engine shards never carry one, so scattered work does not re-scatter
+// (nested closures inside a scattered sub-query stay with the shard that
+// owns the enclosing expression).
+//
+// Every method receives the graph epoch the calling evaluation is pinned
+// to. Implementations must return ok=false when they cannot serve that
+// epoch, in which case the caller computes locally. ctx may be nil
+// (uncancellable evaluation).
+type ScatterHook interface {
+	// RTC returns the shared reduced-transitive-closure structure for r
+	// at epoch. hit reports whether the owning shard already had it
+	// cached (false: the shard computed it for this call).
+	RTC(ctx context.Context, epoch uint64, r rpq.Expr) (structure *rtc.RTC, sum SharedSummary, hit, ok bool, err error)
+	// FullClosure is RTC for the FullSharing strategy's heavyweight
+	// closure R+_G.
+	FullClosure(ctx context.Context, epoch uint64, r rpq.Expr) (closure *tc.Closure, sum SharedSummary, hit, ok bool, err error)
+	// SubRelation evaluates sub-query q (a clause's Pre, Post or R_G
+	// component) at epoch and returns it sealed. The relation is
+	// immutable and memoised shard-side; the coordinator uses it without
+	// copying.
+	SubRelation(ctx context.Context, epoch uint64, q rpq.Expr) (rel *pairs.Relation, ok bool, err error)
+	// StructureCached reports whether the shared structure for r already
+	// exists at epoch on the owning shard — the planner's sunk-cost
+	// probe, routed so cost-based planning sees the cluster's warm
+	// structures, not the coordinator's (empty) structure region.
+	StructureCached(epoch uint64, r rpq.Expr) bool
+}
+
+// SetScatterHook installs the scatter hook on this engine and every fork
+// created afterwards. Like SetEvalHook it must be installed before the
+// engine starts serving: the hook is copied to forks, not synchronised.
+func (e *Engine) SetScatterHook(h ScatterHook) {
+	e.scatter = h
+}
+
+// cancelCtx returns the context of the evaluation running on this
+// engine, or nil when it is uncancellable — how the scatter probes
+// propagate end-to-end cancellation across the shard boundary.
+func (sh *engineShared) cancelCtx() context.Context {
+	if sh.cancel == nil {
+		return nil
+	}
+	return sh.cancel.ctx
+}
+
+// ScatterRTC is the shard-side entry point of ScatterHook.RTC: it
+// computes (or fetches) the RTC for r against this engine's cache,
+// declining when the engine's current epoch differs from the requested
+// one or the engine does not cache. The work runs on a private fork with
+// ctx attached — cancellable, panic-isolated, and folding its Stats back
+// into this engine so per-shard accounting stays truthful.
+func (e *Engine) ScatterRTC(ctx context.Context, epoch uint64, r rpq.Expr) (structure *rtc.RTC, sum SharedSummary, hit, ok bool, err error) {
+	v := e.version()
+	if v.epoch != epoch || !e.shouldCache() {
+		return nil, SharedSummary{}, false, false, nil
+	}
+	worker := e.forkVersion(v)
+	worker.setCancel(ctx)
+	defer func() {
+		rec := recover()
+		e.absorb(worker)
+		asPanicError(r.String(), rec, &err)
+		if err != nil {
+			structure, ok = nil, false
+		}
+	}()
+	structure, sum, hit, err = worker.version().getRTCInfo(r)
+	if err != nil {
+		return nil, SharedSummary{}, false, false, err
+	}
+	return structure, sum, hit, true, nil
+}
+
+// ScatterFullClosure is ScatterRTC for the FullSharing closure.
+func (e *Engine) ScatterFullClosure(ctx context.Context, epoch uint64, r rpq.Expr) (closure *tc.Closure, sum SharedSummary, hit, ok bool, err error) {
+	v := e.version()
+	if v.epoch != epoch || !e.shouldCache() {
+		return nil, SharedSummary{}, false, false, nil
+	}
+	worker := e.forkVersion(v)
+	worker.setCancel(ctx)
+	defer func() {
+		rec := recover()
+		e.absorb(worker)
+		asPanicError(r.String(), rec, &err)
+		if err != nil {
+			closure, ok = nil, false
+		}
+	}()
+	closure, sum, hit, err = worker.version().getFullClosureInfo(r)
+	if err != nil {
+		return nil, SharedSummary{}, false, false, err
+	}
+	return closure, sum, hit, true, nil
+}
+
+// ScatterSubRelation is the shard-side entry point of
+// ScatterHook.SubRelation: it evaluates q with this engine's own sharing
+// pipeline (memoising the sealed relation in this engine's cache) and
+// returns the frozen columns, declining on epoch mismatch exactly like
+// ScatterRTC.
+func (e *Engine) ScatterSubRelation(ctx context.Context, epoch uint64, q rpq.Expr) (rel *pairs.Relation, ok bool, err error) {
+	v := e.version()
+	if v.epoch != epoch || !e.shouldCache() {
+		return nil, false, nil
+	}
+	worker := e.forkVersion(v)
+	worker.setCancel(ctx)
+	defer func() {
+		rec := recover()
+		e.absorb(worker)
+		asPanicError(q.String(), rec, &err)
+		if err != nil {
+			rel, ok = nil, false
+		}
+	}()
+	rel, err = worker.version().subEvaluateRel(q)
+	if err != nil {
+		return nil, false, err
+	}
+	return rel, true, nil
+}
+
+// ScatterStructureCached is the shard-side sunk-cost probe: it reports
+// whether the shared structure for r exists in this engine's cache at
+// the requested epoch. A mismatched epoch reports false — a structure
+// the cluster cannot currently reach is not sunk cost.
+func (e *Engine) ScatterStructureCached(epoch uint64, r rpq.Expr) bool {
+	v := e.version()
+	if v.epoch != epoch {
+		return false
+	}
+	return v.sharedStructureCached(r)
+}

@@ -105,6 +105,16 @@ func (wc *windowController) window() time.Duration {
 	}
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
+	return wc.windowLocked()
+}
+
+// windowLocked is window's adaptive body; the caller holds wc.mu (fixed
+// mode never reaches here from window, but gauges may — the fixed check
+// is repeated so one locked read works for both modes).
+func (wc *windowController) windowLocked() time.Duration {
+	if wc.fixed > 0 {
+		return wc.fixed
+	}
 	if wc.interNS <= 0 {
 		return wc.min
 	}
@@ -127,14 +137,18 @@ func (wc *windowController) window() time.Duration {
 }
 
 // gauges reports the rolling arrival rate (queries/s), the mean batch
-// occupancy, and the window the controller would open now.
+// occupancy, and the window the controller would open now — all read in
+// ONE critical section, so a /metrics snapshot is mutually consistent:
+// the published window is exactly the one the published rate and
+// occupancy imply, never a mix of two controller states straddling an
+// update.
 func (wc *windowController) gauges() (rateQPS, occupancy float64, window time.Duration) {
-	window = wc.window()
 	wc.mu.Lock()
 	if wc.interNS > 0 {
 		rateQPS = float64(time.Second) / wc.interNS
 	}
 	occupancy = wc.occupancy
+	window = wc.windowLocked()
 	wc.mu.Unlock()
 	return rateQPS, occupancy, window
 }

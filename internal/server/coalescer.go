@@ -118,7 +118,7 @@ const (
 // results are identical to what the windowed path would return at that
 // epoch.
 type coalescer struct {
-	engine *core.Engine
+	engine Engine
 	opts   Options
 	ctrl   *windowController
 
@@ -168,7 +168,7 @@ type coalescer struct {
 
 // newCoalescer starts the dispatcher pool: opts.MaxInFlight goroutines
 // each evaluating one sealed batch at a time.
-func newCoalescer(engine *core.Engine, opts Options) *coalescer {
+func newCoalescer(engine Engine, opts Options) *coalescer {
 	c := &coalescer{
 		engine:     engine,
 		opts:       opts,
@@ -232,7 +232,6 @@ func (c *coalescer) notePanic(key string, err error) {
 func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) result {
 	c.submitted.Add(1)
 	now := time.Now()
-	c.ctrl.noteArrival(now)
 	if ctx != nil {
 		// A request whose context is already done (client gone, or the
 		// deadline burned up in handler parsing) must not occupy a window
@@ -252,6 +251,12 @@ func (c *coalescer) submit(ctx context.Context, key string, expr rpq.Expr) resul
 		c.quarantineRejected.Add(1)
 		return result{err: ErrQuarantined}
 	}
+	// Only admitted work feeds the arrival-rate estimate: a rejected or
+	// quarantined storm (dead contexts, shutdown shedding, poison
+	// strings) is traffic the windows will never serve, and letting it
+	// inflate the rate would shrink the adaptive window for the real
+	// traffic behind it.
+	c.ctrl.noteArrival(now)
 	if c.opts.DisableCoalescing {
 		// The coalescing-off baseline: evaluate on the shared engine
 		// immediately, one evaluation per request. Concurrent identical
@@ -440,8 +445,14 @@ func (c *coalescer) evaluate(b *batch) {
 	// Queue stage: sealed but waiting for this dispatcher slot. It is
 	// per-batch (every query of the batch waited it out together).
 	queueNS := time.Since(b.sealedAt).Nanoseconds()
+	// Occupancy counts the waiters still listening at evaluate time, not
+	// everyone ever admitted: under a disconnect storm the abandoned
+	// majority must not keep the controller believing windows are full of
+	// readers. The admitted total still feeds BatchQueries below — the
+	// stats keep the historical view, the controller gets the live one.
+	live := int(b.live.Load())
 	rels, epoch, err := c.engine.EvaluateBatchParallelRelCtx(b.ctx, exprs, c.opts.Workers, timers)
-	c.ctrl.noteBatch(waiters)
+	c.ctrl.noteBatch(live)
 	c.batches.Add(1)
 	c.batchQueries.Add(int64(waiters))
 	c.batchDistinct.Add(int64(len(exprs)))

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/fixtures"
+	"rtcshare/internal/rpq"
+)
+
+// TestRateGaugeIgnoresRejectedStorm: a storm of submissions that never
+// become admitted work — quarantined strings, dead contexts, a closed
+// coalescer — must not feed the adaptive controller's arrival-rate
+// estimate: those arrivals will never land in a window, and counting
+// them would shrink the window for the real traffic behind them.
+func TestRateGaugeIgnoresRejectedStorm(t *testing.T) {
+	engine := core.New(fixtures.Figure1(), core.Options{})
+	c := newCoalescer(engine, Options{}.withDefaults())
+	defer c.close()
+	expr := rpq.MustParse("b+")
+
+	// Quarantine the string (quarantineAfter notes block it), then storm.
+	c.quar.note("b+")
+	c.quar.note("b+")
+	for i := 0; i < 50; i++ {
+		if r := c.submit(context.Background(), "b+", expr); !errors.Is(r.err, ErrQuarantined) {
+			t.Fatalf("submit %d: err = %v, want ErrQuarantined", i, r.err)
+		}
+	}
+
+	// Dead-context storm: the waiter would never read, refused before
+	// admission.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 50; i++ {
+		if r := c.submit(dead, "c", rpq.MustParse("c")); !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("dead submit %d: err = %v, want context.Canceled", i, r.err)
+		}
+	}
+
+	if rate, _, _ := c.ctrl.gauges(); rate != 0 {
+		t.Fatalf("arrival rate = %v qps after pure-rejection storm, want 0", rate)
+	}
+	st := c.stats()
+	if st.QuarantineRejected != 50 || st.Abandoned != 50 {
+		t.Fatalf("stats = %+v, want 50 quarantine-rejected and 50 abandoned", st)
+	}
+
+	// Shutdown shedding must not feed the estimate either.
+	c.close()
+	for i := 0; i < 20; i++ {
+		if r := c.submit(context.Background(), "c", rpq.MustParse("c")); !errors.Is(r.err, ErrShuttingDown) {
+			t.Fatalf("closed submit %d: err = %v, want ErrShuttingDown", i, r.err)
+		}
+	}
+	if rate, _, _ := c.ctrl.gauges(); rate != 0 {
+		t.Fatalf("arrival rate = %v qps after shutdown shedding, want 0", rate)
+	}
+
+	// Sanity: admitted work does move the estimate.
+	c2 := newCoalescer(engine, Options{Window: 200 * time.Microsecond, DisableFastLane: true}.withDefaults())
+	defer c2.close()
+	c2.submit(context.Background(), "a", rpq.MustParse("a"))
+	time.Sleep(time.Millisecond)
+	c2.submit(context.Background(), "d", rpq.MustParse("d"))
+	if rate, _, _ := c2.ctrl.gauges(); rate <= 0 {
+		t.Fatalf("arrival rate = %v qps after two admitted queries, want > 0", rate)
+	}
+}
+
+// TestOccupancyCountsLiveWaiters: under an abandon storm, the
+// controller's occupancy estimate must count the waiters still
+// listening at evaluation time, not everyone ever admitted — otherwise
+// a disconnect storm keeps the adaptive window believing batches are
+// full of readers. The historical stats keep the admitted total.
+func TestOccupancyCountsLiveWaiters(t *testing.T) {
+	engine := core.New(fixtures.Figure1(), core.Options{})
+	c := newCoalescer(engine, Options{
+		Window:          60 * time.Millisecond, // long: every submit lands in one window
+		DisableFastLane: true,
+	}.withDefaults())
+	defer c.close()
+
+	queries := []string{"a", "b", "c", "d"}
+	ctxs := make([]context.Context, len(queries))
+	cancels := make([]context.CancelFunc, len(queries))
+	for i := range queries {
+		ctxs[i], cancels[i] = context.WithCancel(context.Background())
+	}
+	defer cancels[3]()
+
+	var wg sync.WaitGroup
+	results := make([]result, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			results[i] = c.submit(ctxs[i], q, rpq.MustParse(q))
+		}(i, q)
+	}
+
+	// Wait until all four queries joined the pending window.
+	deadline := time.Now().Add(5 * time.Second)
+	var b *batch
+	for {
+		c.mu.Lock()
+		n := 0
+		if c.pending != nil {
+			b = c.pending
+			n = len(b.queries)
+		}
+		c.mu.Unlock()
+		if n == len(queries) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window never collected all %d queries (have %d)", len(queries), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Three clients disconnect mid-window; wait until their abandons have
+	// landed (live back to 1) so the still-open window seals with exactly
+	// one listening waiter.
+	for i := 0; i < 3; i++ {
+		cancels[i]()
+	}
+	for b.live.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live = %d, want 1 after three abandons", b.live.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Wait()
+
+	for i := 0; i < 3; i++ {
+		if !errors.Is(results[i].err, context.Canceled) {
+			t.Fatalf("abandoned waiter %d: err = %v, want context.Canceled", i, results[i].err)
+		}
+	}
+	if results[3].err != nil {
+		t.Fatalf("surviving waiter: %v", results[3].err)
+	}
+
+	_, occ, _ := c.ctrl.gauges()
+	if occ != 1 {
+		t.Fatalf("occupancy = %v after 3-of-4 abandon storm, want 1 (only the live waiter)", occ)
+	}
+	st := c.stats()
+	if st.Batches != 1 || st.BatchQueries != 4 || st.Abandoned != 3 {
+		t.Fatalf("stats = %+v, want 1 batch, 4 admitted batch queries, 3 abandoned", st)
+	}
+}

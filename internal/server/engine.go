@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/pairs"
+	"rtcshare/internal/rpq"
+	"rtcshare/internal/shard"
+)
+
+// Engine is the evaluation surface the server consumes — exactly the
+// methods the handlers and the batch coalescer call, nothing more. A
+// *core.Engine satisfies it directly (the single-engine rpqd), and so
+// does a *shard.Cluster (rpqd -shards N): the serving layer is
+// indifferent to whether a batch evaluates in one cache or scatters
+// across a label-partitioned cluster, because both honour the same
+// contract — every batch's results describe a single graph epoch.
+type Engine interface {
+	// Epoch returns the current graph epoch.
+	Epoch() uint64
+	// Graph returns the current graph version (the /metrics shape).
+	Graph() *graph.Graph
+	// Stats returns the accumulated three-part timing split.
+	Stats() core.Stats
+	// Cache returns the shared cache whose counters /metrics publishes.
+	Cache() *core.SharedCache
+	// CostCalibration returns the planner cost model's recalibration
+	// factor and sample count.
+	CostCalibration() (factor float64, samples int)
+	// CachedResult is the non-blocking fast-path probe.
+	CachedResult(q rpq.Expr) (*pairs.Relation, uint64, bool)
+	// QueryCost is the fast-lane admission classifier.
+	QueryCost(q rpq.Expr) (cost float64, cheap bool, err error)
+	// EvaluateRelTimedCtx evaluates one query with cancellation and
+	// stage attribution — the fast-lane and direct paths.
+	EvaluateRelTimedCtx(ctx context.Context, q rpq.Expr, st *core.StageTimer) (*pairs.Relation, uint64, error)
+	// EvaluateBatchParallelRelCtx evaluates one deduplicated batch — the
+	// coalescer's demux hook.
+	EvaluateBatchParallelRelCtx(ctx context.Context, qs []rpq.Expr, workers int, timers []*core.StageTimer) ([]*pairs.Relation, uint64, error)
+	// ApplyUpdates applies one edge-update batch atomically.
+	ApplyUpdates(updates []core.GraphUpdate) (core.UpdateResult, error)
+	// ExplainQuery plans without executing; ExplainAnalyzeQuery also
+	// runs the query and reports measured cardinalities.
+	ExplainQuery(q string) (*core.Plan, error)
+	// ExplainAnalyzeQuery is ExplainQuery with execution.
+	ExplainAnalyzeQuery(q string) (*core.Plan, error)
+	// Fork returns a private engine for the coalescer's per-query
+	// error-fallback evaluations.
+	Fork() *core.Engine
+}
+
+// shardStatsProvider is the optional interface a sharded engine
+// implements; when the served Engine does, /metrics grows a per-shard
+// section.
+type shardStatsProvider interface {
+	ShardStats() []shard.Stats
+}

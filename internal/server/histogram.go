@@ -71,7 +71,13 @@ func (h *histogram) observe(d time.Duration) {
 
 // quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds from
 // the bucket counts, interpolating linearly within the bucket the rank
-// falls into.
+// falls into. The interpolation fraction is clamped at 1: when the
+// rank falls inside the bucket's last observation, the raw
+// (rank − cum + 1)/n reaches up to (n+1)/n and would place the
+// estimate past the bucket's upper bound — a latency the counts
+// cannot support, unmasked by the observed-max clamp whenever a
+// higher bucket holds the true maximum. The estimate never leaves
+// [lo, min(hi, max)].
 func (h *histogram) quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -87,6 +93,9 @@ func (h *histogram) quantile(q float64) float64 {
 		if float64(cum+n) > rank {
 			lo, hi := bucketBounds(i)
 			within := (rank - float64(cum) + 1) / float64(n)
+			if within > 1 {
+				within = 1
+			}
 			v := float64(lo) + within*float64(hi-lo)
 			if max := float64(h.maxNS.Load()); v > max {
 				v = max

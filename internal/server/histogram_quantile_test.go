@@ -1,0 +1,106 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuantileStaysInBucket is the regression test for the quantile
+// interpolation overshoot: with two observations in a low bucket and
+// one in a much higher bucket, rank(q=0.9) = 1.8 falls in the low
+// bucket, and the old within = (rank − cum + 1)/n = 1.4 pushed the
+// estimate 40% past the bucket's upper bound — a latency the bucket's
+// counts cannot support, unmasked by the observed-max clamp because
+// the true maximum sits far above. The estimate must stay within the
+// bucket the rank falls into.
+func TestQuantileStaysInBucket(t *testing.T) {
+	var h histogram
+	h.observe(20000 * time.Nanosecond) // bucket (16384, 32768]
+	h.observe(20000 * time.Nanosecond)
+	h.observe(50 * time.Millisecond) // the far tail: maxNS cannot clamp
+
+	lo, hi := bucketBounds(bucketIndex(20000))
+	v := h.quantile(0.9)
+	if v < float64(lo) || v > float64(hi) {
+		t.Fatalf("quantile(0.9) = %.0fns escaped its bucket [%d, %d]", v, lo, hi)
+	}
+}
+
+// TestQuantilePropertyWithinBounds is the property test over
+// adversarial bucket distributions: for random few-bucket histograms
+// (the two-bucket shapes are where interpolation overshoots live) and
+// a grid of q values, every estimate must land inside
+// [bucket lo, min(bucket hi, observed max)] of the bucket its rank
+// falls into, and the estimates must be monotone across q.
+func TestQuantilePropertyWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+
+	for trial := 0; trial < 300; trial++ {
+		var h histogram
+		counts := make(map[int]int64)
+		var maxNS int64
+		numBuckets := 1 + rng.Intn(4)
+		for j := 0; j < numBuckets; j++ {
+			b := rng.Intn(16)
+			n := int64(1 + rng.Intn(5))
+			lo, hi := bucketBounds(b)
+			val := lo + 1 + rng.Int63n(hi-lo)
+			for k := int64(0); k < n; k++ {
+				h.observe(time.Duration(val))
+			}
+			counts[b] += n
+			if val > maxNS {
+				maxNS = val
+			}
+		}
+		var total int64
+		for _, n := range counts {
+			total += n
+		}
+
+		prev := -1.0
+		for _, q := range qs {
+			v := h.quantile(q)
+			// Recompute, independently of the implementation, which bucket
+			// the rank falls into.
+			rank := q * float64(total-1)
+			var cum int64
+			bucket := -1
+			for i := 0; i < histBuckets; i++ {
+				n := counts[i]
+				if n == 0 {
+					continue
+				}
+				if float64(cum+n) > rank {
+					bucket = i
+					break
+				}
+				cum += n
+			}
+			if bucket == -1 {
+				// rank beyond every bucket (q = 1 with float slack): the
+				// implementation answers the observed max.
+				if v != float64(maxNS) {
+					t.Fatalf("trial %d q=%v: rank past all buckets, quantile = %.0f, want max %d", trial, q, v, maxNS)
+				}
+			} else {
+				lo, hi := bucketBounds(bucket)
+				upper := float64(hi)
+				if m := float64(maxNS); m < upper {
+					upper = m
+				}
+				if v < float64(lo) || v > upper {
+					t.Fatalf("trial %d q=%v: quantile = %.0f outside [%d, %.0f] (bucket %d, counts %v)",
+						trial, q, v, lo, upper, bucket, counts)
+				}
+			}
+			if v < prev {
+				t.Fatalf("trial %d q=%v: quantile %.0f < previous %.0f — not monotone (counts %v)",
+					trial, q, v, prev, counts)
+			}
+			prev = v
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"rtcshare/internal/core"
 	"rtcshare/internal/graph"
 	"rtcshare/internal/rpq"
+	"rtcshare/internal/shard"
 	"rtcshare/internal/store"
 )
 
@@ -143,7 +144,7 @@ func (o Options) withDefaults() Options {
 // engine. Create one with New, serve it with net/http, and Close it to
 // drain the coalescer on shutdown.
 type Server struct {
-	engine *core.Engine
+	engine Engine
 	opts   Options
 	coal   *coalescer
 	mux    *http.ServeMux
@@ -161,10 +162,11 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New returns a Server over engine. The engine may be shared with
-// non-HTTP users; ApplyUpdates through either side keeps both
-// epoch-consistent.
-func New(engine *core.Engine, opts Options) *Server {
+// New returns a Server over engine — a single *core.Engine or a
+// *shard.Cluster, anything satisfying the Engine surface. The engine may
+// be shared with non-HTTP users; ApplyUpdates through either side keeps
+// both epoch-consistent.
+func New(engine Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		engine:    engine,
@@ -235,7 +237,7 @@ func (s *Server) route(path string, m methods) {
 }
 
 // Engine returns the engine the server evaluates on.
-func (s *Server) Engine() *core.Engine { return s.engine }
+func (s *Server) Engine() Engine { return s.engine }
 
 // Options returns the server's effective (default-filled) options.
 func (s *Server) Options() Options { return s.opts }
@@ -722,6 +724,10 @@ type Metrics struct {
 	// Persistence reports the store's bookkeeping and how the engine
 	// booted; nil (omitted) when the server runs without -data.
 	Persistence *store.PersistInfo `json:"persistence,omitempty"`
+	// Shards holds one row per engine shard (cache counters plus the
+	// scatter traffic routed to it); omitted when the server runs a
+	// single unsharded engine.
+	Shards []shard.Stats `json:"shards,omitempty"`
 }
 
 // MetricsSnapshot returns what GET /metrics serves, for in-process
@@ -735,8 +741,13 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.coal.ctrl.adaptive() {
 		mode = "adaptive"
 	}
+	var shards []shard.Stats
+	if sp, ok := s.engine.(shardStatsProvider); ok {
+		shards = sp.ShardStats()
+	}
 	return Metrics{
-		Epoch: s.engine.Epoch(),
+		Shards: shards,
+		Epoch:  s.engine.Epoch(),
 		Graph: GraphInfo{
 			Vertices: g.NumVertices(),
 			Edges:    g.NumEdges(),

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/shard"
+)
+
+// TestServerShardedUpdateQueryStorm runs the serving-layer storm over a
+// sharded engine at 2 and 4 shards: concurrent /query clients (closing
+// over the ingest label) race a /update mutator through the whole HTTP
+// stack — coalescing windows, fast path, error fallback — with the
+// cluster's scatter seam and epoch barrier underneath. The gates:
+// every request succeeds, CrossEpochHits stays zero on the coordinator
+// AND on every shard, and /metrics publishes one per-shard row that
+// actually saw scatter traffic.
+func TestServerShardedUpdateQueryStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test skipped in -short")
+	}
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			g, err := datagen.RMAT(datagen.RMATConfig{Vertices: 128, Edges: 512, Labels: 4, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster := shard.New(g, shard.Options{Shards: shards})
+			srv := New(cluster, Options{
+				Window:   500 * time.Microsecond,
+				MaxBatch: 32,
+				Workers:  2,
+			})
+			ts := httptest.NewServer(srv)
+			defer func() {
+				ts.Close()
+				srv.Close()
+			}()
+
+			queries := []string{"l3+", "l0·l3+", "l3+·l1", "(l2·l3)+", "l0·(l3)+·l2", "l3*·l0"}
+			const (
+				clients      = 8
+				perClient    = 25
+				updateRounds = 15
+			)
+
+			var (
+				wg   sync.WaitGroup
+				errc = make(chan error, clients+1)
+			)
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				state := uint64(1)
+				for r := 0; r < updateRounds; r++ {
+					var ups []EdgeUpdate
+					for i := 0; i < 8; i++ {
+						state = state*6364136223846793005 + 1442695040888963407
+						src := graph.VID(state % 128)
+						dst := graph.VID((state >> 32) % 128)
+						ups = append(ups, EdgeUpdate{Op: "insert", Src: src, Label: "l3", Dst: dst})
+					}
+					body, _ := json.Marshal(UpdateRequest{Updates: ups})
+					resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errc <- fmt.Errorf("update round %d: %v", r, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("update round %d: status %d", r, resp.StatusCode)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						q := queries[(c+i)%len(queries)]
+						resp, status := postQuery(t, ts.URL, QueryRequest{Query: q, Limit: 16})
+						if status != http.StatusOK {
+							errc <- fmt.Errorf("client %d query %d (%s): status %d", c, i, q, status)
+							return
+						}
+						if resp.Epoch > uint64(updateRounds) {
+							errc <- fmt.Errorf("client %d: epoch %d beyond the %d update rounds", c, resp.Epoch, updateRounds)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+
+			m := srv.MetricsSnapshot()
+			if m.Cache.CrossEpochHits != 0 {
+				t.Fatalf("coordinator CrossEpochHits = %d under sharded storm, want 0", m.Cache.CrossEpochHits)
+			}
+			if len(m.Shards) != shards {
+				t.Fatalf("/metrics has %d shard rows, want %d", len(m.Shards), shards)
+			}
+			var scattered int64
+			for _, ss := range m.Shards {
+				if ss.Cache.CrossEpochHits != 0 {
+					t.Fatalf("shard %d CrossEpochHits = %d under sharded storm, want 0", ss.Shard, ss.Cache.CrossEpochHits)
+				}
+				scattered += ss.RTCRequests + ss.ClosureRequests + ss.RelationRequests
+			}
+			if scattered == 0 {
+				t.Fatal("no scatter traffic reached any shard through the HTTP path")
+			}
+			if m.Epoch != uint64(updateRounds) {
+				t.Fatalf("final epoch %d, want %d", m.Epoch, updateRounds)
+			}
+			if m.Coalescer.EvalErrors != 0 || m.Coalescer.Rejected != 0 {
+				t.Fatalf("storm hit eval errors or rejections: %+v", m.Coalescer)
+			}
+
+			// The identity gate over HTTP: after the storm quiesces, every
+			// query served by the sharded server equals a fresh single
+			// engine's answer on the same graph.
+			single := core.New(cluster.Graph(), core.Options{})
+			for _, q := range queries {
+				resp, status := postQuery(t, ts.URL, QueryRequest{Query: q})
+				if status != http.StatusOK {
+					t.Fatalf("post-storm %s: status %d", q, status)
+				}
+				want, err := single.EvaluateQuery(q)
+				if err != nil {
+					t.Fatalf("post-storm single %s: %v", q, err)
+				}
+				if len(resp.Pairs) != want.Len() {
+					t.Fatalf("post-storm %s: sharded server %d pairs, single engine %d", q, len(resp.Pairs), want.Len())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Package shard implements a label-partitioned, in-process cluster of
+// engine shards behind one coordinator. The coordinator exposes the same
+// evaluation surface the HTTP server consumes (internal/server.Engine);
+// each clause of a planned query decomposes as Pre ⋈ R+ ⋈ R_G ⋈ Post,
+// and the coordinator scatters the closure-structure and sub-relation
+// work of each component to the shard owning that component's label set,
+// gathers the sealed columnar relations, and runs the anchor join
+// locally. Updates fan out to every engine under a cluster-epoch
+// barrier, so all engines advance epochs in lockstep and no batch mixes
+// shard epochs — the single-engine epoch-pinning invariant, now
+// cross-shard. See DESIGN.md §14.
+package shard
+
+import (
+	"hash/fnv"
+
+	"rtcshare/internal/rpq"
+)
+
+// Partitioner assigns ownership of a sub-expression to one of n shards
+// by the set of edge labels the sub-expression mentions. Ownership is
+// resolved at the clause-decomposition boundary: the shard owning a
+// component's labels builds and caches that component's closure
+// structures and sealed relations, so the cluster splits structure
+// memory and build work instead of replicating it. Implementations must
+// be deterministic and safe for concurrent use.
+type Partitioner interface {
+	// Shard returns the owning shard index in [0, n) for a sorted,
+	// de-duplicated label set. n is always ≥ 1; an empty label set (an
+	// epsilon-only sub-expression) must still map deterministically.
+	Shard(labels []string, n int) int
+}
+
+// HashPartitioner is the default Partitioner: FNV-1a over the
+// NUL-joined label fingerprint, modulo the shard count. Distinct label
+// sets spread uniformly; the same set always lands on the same shard,
+// which is what makes the shard-side caches effective.
+type HashPartitioner struct{}
+
+// Shard implements Partitioner.
+func (HashPartitioner) Shard(labels []string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0})
+	}
+	return int(h.Sum32() % uint32(n))
+}
+
+// owner resolves the shard owning expr's label set. rpq.Labels already
+// returns the sorted distinct set, which keeps the fingerprint
+// canonical.
+func (c *Cluster) owner(expr rpq.Expr) int {
+	return c.part.Shard(rpq.Labels(expr), len(c.shards))
+}

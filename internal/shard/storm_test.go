@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtcshare/internal/core"
+	"rtcshare/internal/datagen"
+	"rtcshare/internal/graph"
+	"rtcshare/internal/rpq"
+)
+
+// TestClusterUpdateQueryStorm is the cluster's -race stress test at 2
+// and 4 shards: concurrent batch evaluations (all closing over the
+// ingest label, so every update invalidates their structures on every
+// shard) race an update stream fanning out under the exclusive
+// barrier. The cluster-epoch machinery must hold:
+//
+//   - every batch and update succeeds;
+//   - every batch reports one epoch, and it is one the cluster reached;
+//   - coordinator and shards leave the storm in epoch lockstep;
+//   - CrossEpochHits summed over every engine stays exactly zero.
+func TestClusterUpdateQueryStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test skipped in -short")
+	}
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			g, err := datagen.RMAT(datagen.RMATConfig{Vertices: 128, Edges: 512, Labels: 4, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster := New(g, Options{Shards: shards})
+			queries := []rpq.Expr{
+				rpq.MustParse("l3+"),
+				rpq.MustParse("l0.l3+"),
+				rpq.MustParse("l3+.l1"),
+				rpq.MustParse("(l2.l3)+"),
+				rpq.MustParse("l0.(l3)+.l2"),
+				rpq.MustParse("l3*.l0"),
+			}
+			const (
+				queriers     = 6
+				perQuerier   = 15
+				updateRounds = 20
+			)
+
+			var (
+				wg   sync.WaitGroup
+				errc = make(chan error, queriers+1)
+			)
+
+			// The mutator: insert-only ingest on l3, the label every query
+			// closes over.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				state := uint64(1)
+				for r := 0; r < updateRounds; r++ {
+					var ups []core.GraphUpdate
+					for i := 0; i < 8; i++ {
+						state = state*6364136223846793005 + 1442695040888963407
+						src := graph.VID(state % 128)
+						dst := graph.VID((state >> 32) % 128)
+						ups = append(ups, core.InsertEdge(src, "l3", dst))
+					}
+					if _, err := cluster.ApplyUpdates(ups); err != nil {
+						errc <- fmt.Errorf("update round %d: %w", r, err)
+						return
+					}
+				}
+			}()
+
+			for c := 0; c < queriers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < perQuerier; i++ {
+						batch := queries[(c+i)%len(queries) : (c+i)%len(queries)+1]
+						rels, epoch, err := cluster.EvaluateBatchParallelRelCtx(nil, batch, 2, nil)
+						if err != nil {
+							errc <- fmt.Errorf("querier %d batch %d: %w", c, i, err)
+							return
+						}
+						if len(rels) != 1 || rels[0] == nil {
+							errc <- fmt.Errorf("querier %d batch %d: bad result shape", c, i)
+							return
+						}
+						if epoch > updateRounds {
+							errc <- fmt.Errorf("querier %d batch %d: epoch %d beyond the %d rounds", c, i, epoch, updateRounds)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+
+			want := cluster.coord.Epoch()
+			for i, sh := range cluster.shards {
+				if got := sh.Epoch(); got != want {
+					t.Fatalf("shard %d epoch %d, coordinator %d after storm", i, got, want)
+				}
+			}
+			if xe := cluster.CrossEpochHits(); xe != 0 {
+				t.Fatalf("CrossEpochHits = %d under update/query storm, want 0", xe)
+			}
+		})
+	}
+}
