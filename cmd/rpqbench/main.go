@@ -8,6 +8,7 @@
 //	rpqbench -experiment updates           # incremental maintenance vs rebuild
 //	rpqbench -experiment serve             # HTTP batch coalescing on vs off
 //	rpqbench -experiment latency           # open-loop tail latency, fixed vs adaptive
+//	rpqbench -experiment stream            # time-to-first-pair, sealed vs pull-stream
 //	rpqbench -experiment all               # everything (minutes)
 //	rpqbench -experiment all -paper        # the paper's full protocol (hours)
 //	rpqbench -experiment planner -json out.json   # structured report
@@ -22,7 +23,7 @@
 //
 // -json writes a structured report (experiment id, config, per-row wall
 // times, B/op and allocs/op, shared-structure sizes, plan choices) for
-// experiments that support it (planner, layout, updates, serve, latency,
+// experiments that support it (planner, layout, updates, serve, latency, stream,
 // fig16), so BENCH_*.json artifacts form a machine-readable perf
 // trajectory; CI emits one per run.
 package main
@@ -59,7 +60,7 @@ func run(args []string) error {
 		clients    = fs.Int("clients", 0, "override the closed-loop client count of the serve experiment")
 		rates      = fs.String("rates", "", "comma-separated offered rates (qps) for the latency experiment")
 		latencyReq = fs.Int("latency-requests", 0, "override the arrivals per latency-experiment leg")
-		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, serve, latency, fig16)")
+		jsonPath   = fs.String("json", "", "write the experiment's structured report to this path (planner, layout, updates, serve, latency, stream, fig16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,7 +134,7 @@ func run(args []string) error {
 		return e.Run(os.Stdout, cfg)
 	}
 	if e.JSON == nil {
-		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates, serve, latency and fig16", e.ID)
+		return fmt.Errorf("experiment %q has no structured report; -json supports planner, layout, updates, serve, latency, stream and fig16", e.ID)
 	}
 	report, err := e.JSON(os.Stdout, cfg)
 	if err != nil {

@@ -16,6 +16,10 @@
 //
 //	POST /query    {"query":"d·(b·c)+·c","limit":100,"offset":0}
 //	GET  /query?q=…&limit=…&offset=…        # same, for curl convenience
+//	GET  /query?q=…&ask=1                   # existence only (short-circuit)
+//	GET  /query?q=…&witness=1&src=…&dst=…   # one shortest label-path witness
+//	GET  /query/stream?q=…&limit=…          # the result as NDJSON chunks
+//	GET  /query/sse?q=…                     # same, framed as Server-Sent Events
 //	POST /update   {"updates":[{"op":"insert","src":1,"label":"a","dst":2}]}
 //	GET  /explain?q=…                       # the plan, without executing
 //	GET  /healthz                           # ok | degraded | draining + epoch
@@ -23,6 +27,16 @@
 //	POST /admin/snapshot                    # compact the log into a snapshot
 //
 // A wrong method on any endpoint answers 405 with an Allow header.
+//
+// A /query page that does not exhaust the result carries an opaque
+// "next_cursor" token; sending it back as "cursor" resumes the page
+// sequence. The token pins the graph epoch — resuming after an update
+// answers a structured 410 instead of a page inconsistent with the
+// earlier ones. /query/stream and /query/sse deliver the result
+// incrementally from an epoch-pinned pull stream: -stream-chunk pairs
+// per chunk, and -stream-max-lag bounds how many epochs the graph may
+// advance past a live stream before it is aborted with an "epoch_lag"
+// error record (0 = pinned streams always run to completion).
 //
 // Failure handling: a client that disconnects (or times out) abandons
 // its query, and a batch every waiter abandoned is cancelled instead of
@@ -110,6 +124,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxQueued   = fs.Int("max-queued", 8, "sealed batches awaiting a slot before 503")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		noCoalesce  = fs.Bool("no-coalesce", false, "evaluate each request immediately (baseline)")
+		streamChunk = fs.Int("stream-chunk", 0, "pairs per /query/stream and /query/sse chunk (0 = default 512)")
+		streamLag   = fs.Uint64("stream-max-lag", 0, "abort an epoch-pinned stream once the graph advances this many epochs past it (0 = never)")
 		shards      = fs.Int("shards", 0, "serve a label-partitioned in-process cluster of N engine shards (0 = single engine; incompatible with -data)")
 		dataDir     = fs.String("data", "", "persistence directory (snapshot + update log); a resident snapshot wins over -graph")
 		snapEvery   = fs.Int("snapshot-every", 0, "with -data, also snapshot every N effective update batches (0 = only on shutdown and /admin/snapshot)")
@@ -211,6 +227,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RequestTimeout:    *timeout,
 		DisableCoalescing: *noCoalesce,
 		ProbeInterval:     *probeEvery,
+		StreamChunk:       *streamChunk,
+		StreamMaxLag:      *streamLag,
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -160,7 +160,7 @@ func TestRegistry(t *testing.T) {
 		"fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
 		"fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
 		"fig16", "latency", "layout", "persist", "planner", "serve",
-		"shard", "table3", "table4", "updates",
+		"shard", "stream", "table3", "table4", "updates",
 	}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("experiments = %d, want %d", len(exps), len(wantIDs))

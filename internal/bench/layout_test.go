@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestLayoutExperimentSmoke runs the layout cross (map-set vs columnar,
+// bfs vs bitset closure) at toy scale through the registry glue: every
+// cell must produce a timing and pass the in-experiment fingerprint
+// gate (identical result pairs across executors, not just counts).
+func TestLayoutExperimentSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 2
+	cfg.NumSets = 2
+	cfg.NumRPQs = 2
+	ls, err := RunLayoutExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range ls.Rows {
+		if r.WallMS <= 0 {
+			t.Errorf("%s %s %s: non-positive wall time", r.Dataset, r.Family, r.Config)
+		}
+	}
+	e, ok := Lookup("layout")
+	if !ok || e.JSON == nil {
+		t.Fatal("layout experiment not registered with a JSON report")
+	}
+	report, err := e.JSON(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*LayoutSweep); !ok {
+		t.Fatalf("layout JSON report has type %T, want *LayoutSweep", report)
+	}
+	if err := e.Run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

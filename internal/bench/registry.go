@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{ID: "planner", Title: "Planner (beyond the paper): cost-based vs rightmost-decompose", Run: runPlanner, JSON: jsonPlanner},
 		{ID: "serve", Title: "Serve (beyond the paper): closed-loop HTTP, batch coalescing on vs off", Run: runServe, JSON: jsonServe},
 		{ID: "shard", Title: "Shard (beyond the paper): label-partitioned in-process cluster vs single engine", Run: runShard, JSON: jsonShard},
+		{ID: "stream", Title: "Stream (beyond the paper): time-to-first-pair and delivery allocation, sealed vs pull-stream", Run: runStream, JSON: jsonStream},
 		{ID: "updates", Title: "Updates (beyond the paper): incremental maintenance vs rebuild-from-scratch", Run: runUpdates, JSON: jsonUpdates},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
@@ -128,6 +129,20 @@ func jsonLayout(w io.Writer, cfg RunConfig) (any, error) {
 	}
 	ls.RenderLayout(w)
 	return ls, nil
+}
+
+func runStream(w io.Writer, cfg RunConfig) error {
+	_, err := jsonStream(w, cfg)
+	return err
+}
+
+func jsonStream(w io.Writer, cfg RunConfig) (any, error) {
+	ss, err := RunStreamExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss.RenderStream(w)
+	return ss, nil
 }
 
 func runPlanner(w io.Writer, cfg RunConfig) error {

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestStreamExperimentSmoke runs the streaming experiment at toy scale:
+// it must complete, produce rows, and its in-experiment identity gate
+// (stream == sealed, pair for pair in order) must hold — a gate failure
+// is an error from RunStreamExperiment, not a slow row.
+func TestStreamExperimentSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 3
+	cfg.NumSets = 2
+	cfg.NumRPQs = 3
+	ss, err := RunStreamExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range ss.Rows {
+		if r.Pairs <= 0 {
+			t.Errorf("%s %s: empty result selected", r.Dataset, r.Query)
+		}
+		if r.SealedWallMS <= 0 || r.StreamWallMS <= 0 || r.StreamFirstMS <= 0 {
+			t.Errorf("%s %s: non-positive timing: %+v", r.Dataset, r.Query, r)
+		}
+		if r.SealedBytes == 0 || r.StreamBytes == 0 {
+			t.Errorf("%s %s: zero alloc measurement", r.Dataset, r.Query)
+		}
+	}
+	ss.RenderStream(io.Discard)
+}
+
+// TestStreamRegistryAdapters runs the stream experiment through its
+// registry glue (the Run and JSON adapters rpqbench dispatches to).
+func TestStreamRegistryAdapters(t *testing.T) {
+	e, ok := Lookup("stream")
+	if !ok || e.JSON == nil {
+		t.Fatal("stream experiment not registered with a JSON report")
+	}
+	cfg := DefaultConfig()
+	cfg.ScaleExp = 6
+	cfg.MaxN = 2
+	cfg.NumSets = 2
+	cfg.NumRPQs = 2
+	report, err := e.JSON(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.(*StreamSweep); !ok {
+		t.Fatalf("stream JSON report has type %T, want *StreamSweep", report)
+	}
+	if err := e.Run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

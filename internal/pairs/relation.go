@@ -153,24 +153,48 @@ func (r *Relation) Page(offset, limit int) []Pair {
 	if offset >= n {
 		return nil
 	}
-	end := n
+	count := n - offset
 	// Compare by subtraction from the bounded side: offset+limit would
 	// overflow for huge limits.
-	if limit > 0 && limit < n-offset {
-		end = offset + limit
+	if limit > 0 && limit < count {
+		count = limit
+	}
+	out := make([]Pair, count)
+	return out[:r.PageInto(offset, out)]
+}
+
+// PageInto is Page writing into a caller-owned buffer: it fills buf
+// with the pairs at positions [offset, offset+len(buf)) of the global
+// (src, dst) order and returns how many were written — fewer than
+// len(buf) only when the relation ends first. Streaming delivery and
+// cursor paging reuse one buffer across calls instead of allocating a
+// page per response chunk. A negative offset is clamped to 0; an offset
+// at or past the end writes nothing.
+func (r *Relation) PageInto(offset int, buf []Pair) int {
+	n := r.Len()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= n || len(buf) == 0 {
+		return 0
+	}
+	end := n
+	if len(buf) < n-offset {
+		end = offset + len(buf)
 	}
 	// The first run overlapping the page: the smallest v whose run ends
 	// past offset.
 	v := sort.Search(r.numVertices, func(v int) bool { return int(r.srcOffsets[v+1]) > offset })
-	out := make([]Pair, 0, end-offset)
+	written := 0
 	pos := offset
 	for ; v < r.numVertices && pos < end; v++ {
 		runEnd := int(r.srcOffsets[v+1])
 		for ; pos < runEnd && pos < end; pos++ {
-			out = append(out, Pair{graph.VID(v), r.dsts[pos]})
+			buf[written] = Pair{graph.VID(v), r.dsts[pos]}
+			written++
 		}
 	}
-	return out
+	return written
 }
 
 // Sorted returns the pairs in (src, dst) order.

@@ -285,6 +285,85 @@ func TestRelationPageHugeLimit(t *testing.T) {
 	}
 }
 
+// Property: PageInto(offset, buf) writes exactly what Page(offset,
+// len(buf)) returns, for any offset and buffer size — the streaming
+// layer leans on the two staying interchangeable.
+func TestRelationPageIntoMatchesPage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		b := NewBuilder(n)
+		for _, p := range randomPairs(rng, n, rng.Intn(120)) {
+			b.AddPair(p)
+		}
+		rel := b.Seal()
+		for _, off := range []int{-1, 0, 1, rel.Len() / 2, rel.Len() - 1, rel.Len(), rel.Len() + 4} {
+			for _, size := range []int{0, 1, 2, 7, rel.Len(), rel.Len() + 3} {
+				buf := make([]Pair, size)
+				got := buf[:rel.PageInto(off, buf)]
+				want := rel.Page(off, size)
+				if size == 0 {
+					// Page(off, 0) means "to the end"; PageInto with an
+					// empty buffer writes nothing. Only the count contract
+					// applies here.
+					if len(got) != 0 {
+						return false
+					}
+					continue
+				}
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationPageIntoEdgeCases(t *testing.T) {
+	rel := RelationFromPairs(4,
+		Pair{Src: 0, Dst: 1}, Pair{Src: 0, Dst: 2}, Pair{Src: 0, Dst: 3},
+		Pair{Src: 2, Dst: 0},
+		Pair{Src: 3, Dst: 1}, Pair{Src: 3, Dst: 2},
+	)
+	buf := make([]Pair, 4)
+	if n := rel.PageInto(rel.Len(), buf); n != 0 {
+		t.Fatalf("PageInto(len) = %d, want 0", n)
+	}
+	if n := rel.PageInto(rel.Len()+5, buf); n != 0 {
+		t.Fatalf("PageInto(past end) = %d, want 0", n)
+	}
+	if n := rel.PageInto(0, nil); n != 0 {
+		t.Fatalf("PageInto(0, nil) = %d, want 0", n)
+	}
+	if n := rel.PageInto(-2, buf[:2]); n != 2 || buf[0] != (Pair{Src: 0, Dst: 1}) {
+		t.Fatalf("negative offset: n=%d buf=%v, want clamp to start", n, buf[:2])
+	}
+	// Page starting inside the last run.
+	if n := rel.PageInto(5, buf); n != 1 || buf[0] != (Pair{Src: 3, Dst: 2}) {
+		t.Fatalf("PageInto(5) = %d %v, want the final pair", n, buf[:n])
+	}
+	empty := NewBuilder(0).Seal()
+	if n := empty.PageInto(0, buf); n != 0 {
+		t.Fatalf("empty PageInto = %d, want 0", n)
+	}
+	single := RelationFromPairs(2, Pair{Src: 1, Dst: 0})
+	if n := single.PageInto(0, buf); n != 1 || buf[0] != (Pair{Src: 1, Dst: 0}) {
+		t.Fatalf("singleton PageInto = %d %v", n, buf[:n])
+	}
+	if n := single.PageInto(1, buf); n != 0 {
+		t.Fatalf("singleton PageInto(1) = %d, want 0", n)
+	}
+}
+
 // TestRelationPageEdgeCases pins the documented paging semantics on a
 // relation whose CSR rows have uneven run lengths, so pages cross row
 // boundaries mid-run:

@@ -177,6 +177,36 @@ func (p *Planner) PlanClause(clause rpq.Expr) ClausePlan {
 	return p.calibrate(best)
 }
 
+// PlanClauseAsk plans one DNF clause for an existence (ASK) probe: the
+// same physical choices as PlanClause, except that in cost-based mode a
+// shared plan's join direction is re-decided for the probe. An ASK
+// stops at the first result tuple, so output cardinality — the term
+// that dominates the full-evaluation estimates — is irrelevant; what
+// matters is the cost of materialising the driving side relations and
+// the size of the side actually scanned. The forward probe drives from
+// Pre (Post is explored by traversal); the backward probe must also
+// materialise Post, but then scans the usually far smaller Post side
+// first — the cheaper direction exactly when Post is selective. The
+// deviation floor deliberately does not apply: unlike a full backward
+// join, a backward probe adds no output-side work to amortise.
+func (p *Planner) PlanClauseAsk(clause rpq.Expr) ClausePlan {
+	cp := p.PlanClause(clause)
+	if cp.Kind != KindShared || p.cfg.Mode != CostBased {
+		return cp
+	}
+	pre := p.est.Expr(cp.Unit.Pre)
+	post := p.est.Expr(cp.Unit.Post)
+	jt := p.joinTuple()
+	fwd := p.est.evalCost(cp.Unit.Pre) + pre.Pairs*jt
+	bwd := p.est.evalCost(cp.Unit.Pre) + p.est.evalCost(cp.Unit.Post) + post.Pairs*jt
+	if bwd < fwd {
+		cp.Direction = Backward
+	} else {
+		cp.Direction = Forward
+	}
+	return cp
+}
+
 // calibrate applies the measured-cardinality correction factor to the
 // chosen plan's absolute estimates. Applied once, after candidate
 // selection: the factor is uniform, so applying it during comparison

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// Server cursors are opaque resumable positions into one query's result
+// at one graph epoch. A token encodes (epoch, position, query hash) with
+// a version byte and a CRC, base64url-armored, so a client can page a
+// large result across requests while the server stays stateless: every
+// page re-derives from the epoch-tagged result, and the token itself
+// proves which epoch and which query it belongs to. A token survives
+// process restarts (nothing server-side backs it); what it cannot
+// survive is the graph moving on — resuming a cursor against a different
+// epoch is a structured HTTP 410, never a silently inconsistent page.
+//
+// Wire format (30 bytes before armoring):
+//
+//	[0]     magic 'R'
+//	[1]     version (currently 1)
+//	[2:10]  graph epoch, big-endian
+//	[10:18] position (pairs already delivered), big-endian
+//	[18:26] FNV-64a of the query string, big-endian
+//	[26:30] CRC-32 (IEEE) of bytes [0:26], big-endian
+
+const (
+	cursorMagic   = 'R'
+	cursorVersion = 1
+	cursorRawLen  = 30
+)
+
+// Cursor decode failures. All map to HTTP 410 Gone: the token names a
+// page that can no longer (or never could) be served.
+var (
+	// errCursorMalformed covers tokens that are not well-formed: wrong
+	// length, bad base64, wrong magic or an unknown version.
+	errCursorMalformed = errors.New("server: malformed cursor")
+	// errCursorChecksum covers well-formed tokens whose CRC does not
+	// match — truncation or tampering.
+	errCursorChecksum = errors.New("server: cursor checksum mismatch")
+	// errCursorQuery covers valid tokens presented with a different
+	// query string than the one they were issued for.
+	errCursorQuery = errors.New("server: cursor does not belong to this query")
+)
+
+// cursorToken is a decoded cursor.
+type cursorToken struct {
+	epoch uint64
+	pos   uint64
+}
+
+// queryHash is the query-binding half of the token: FNV-64a over the
+// exact query string the request carried.
+func queryHash(query string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(query))
+	return h.Sum64()
+}
+
+// encodeCursor renders an opaque resumable token for (epoch, pos) of
+// query's result.
+func encodeCursor(epoch, pos uint64, query string) string {
+	var raw [cursorRawLen]byte
+	raw[0] = cursorMagic
+	raw[1] = cursorVersion
+	binary.BigEndian.PutUint64(raw[2:10], epoch)
+	binary.BigEndian.PutUint64(raw[10:18], pos)
+	binary.BigEndian.PutUint64(raw[18:26], queryHash(query))
+	binary.BigEndian.PutUint32(raw[26:30], crc32.ChecksumIEEE(raw[:26]))
+	return base64.RawURLEncoding.EncodeToString(raw[:])
+}
+
+// decodeCursor parses and verifies a token against the query it is
+// presented with. Arbitrary byte strings never panic: every malformed
+// shape maps to one of the structured sentinel errors above.
+func decodeCursor(token, query string) (cursorToken, error) {
+	// Exact encoded length first: base64 decoding skips embedded
+	// newlines, so without this a whitespace-padded variant of a valid
+	// token would be accepted. Tokens are machine-minted; only the
+	// canonical 40-character form is a cursor.
+	if len(token) != base64.RawURLEncoding.EncodedLen(cursorRawLen) {
+		return cursorToken{}, fmt.Errorf("%w: %d chars, want %d",
+			errCursorMalformed, len(token), base64.RawURLEncoding.EncodedLen(cursorRawLen))
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return cursorToken{}, fmt.Errorf("%w: %v", errCursorMalformed, err)
+	}
+	if len(raw) != cursorRawLen {
+		return cursorToken{}, fmt.Errorf("%w: %d bytes, want %d", errCursorMalformed, len(raw), cursorRawLen)
+	}
+	if crc32.ChecksumIEEE(raw[:26]) != binary.BigEndian.Uint32(raw[26:30]) {
+		return cursorToken{}, errCursorChecksum
+	}
+	if raw[0] != cursorMagic || raw[1] != cursorVersion {
+		return cursorToken{}, fmt.Errorf("%w: magic %#x version %d", errCursorMalformed, raw[0], raw[1])
+	}
+	if binary.BigEndian.Uint64(raw[18:26]) != queryHash(query) {
+		return cursorToken{}, errCursorQuery
+	}
+	return cursorToken{
+		epoch: binary.BigEndian.Uint64(raw[2:10]),
+		pos:   binary.BigEndian.Uint64(raw[10:18]),
+	}, nil
+}
+
+// isCursorError reports whether err is any cursor decode failure (they
+// all map to HTTP 410).
+func isCursorError(err error) bool {
+	return errors.Is(err, errCursorMalformed) ||
+		errors.Is(err, errCursorChecksum) ||
+		errors.Is(err, errCursorQuery)
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+// TestCursorRoundTrip is the encode/decode identity property: for any
+// (epoch, pos, query), decoding the encoded token against the same
+// query yields the position back exactly.
+func TestCursorRoundTrip(t *testing.T) {
+	prop := func(epoch, pos uint64, query string) bool {
+		tok := encodeCursor(epoch, pos, query)
+		c, err := decodeCursor(tok, query)
+		if err != nil {
+			t.Logf("decode(encode(%d, %d, %q)): %v", epoch, pos, query, err)
+			return false
+		}
+		return c.epoch == epoch && c.pos == pos
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorRejections pins each decode failure to its structured
+// sentinel: every rejection is a cursor error (HTTP 410), never a
+// panic or a silently wrong position.
+func TestCursorRejections(t *testing.T) {
+	const query = "d.(b.c)+.c"
+	valid := encodeCursor(7, 42, query)
+
+	t.Run("wrong query", func(t *testing.T) {
+		if _, err := decodeCursor(valid, "a.b"); !errors.Is(err, errCursorQuery) {
+			t.Fatalf("err = %v, want errCursorQuery", err)
+		}
+	})
+	t.Run("bad base64", func(t *testing.T) {
+		if _, err := decodeCursor("not/base64!!", query); !errors.Is(err, errCursorMalformed) {
+			t.Fatalf("err = %v, want errCursorMalformed", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := decodeCursor(valid[:len(valid)/2], query); !isCursorError(err) {
+			t.Fatalf("err = %v, want a cursor error", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := decodeCursor("", query); !errors.Is(err, errCursorMalformed) {
+			t.Fatalf("err = %v, want errCursorMalformed", err)
+		}
+	})
+	t.Run("tampered byte", func(t *testing.T) {
+		raw, err := base64.RawURLEncoding.DecodeString(valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flipping any payload bit must trip the CRC; flipping a CRC bit
+		// must trip it too. Either way a cursor error, never a panic.
+		for i := range raw {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 0x01
+			tok := base64.RawURLEncoding.EncodeToString(mut)
+			if _, err := decodeCursor(tok, query); !isCursorError(err) {
+				t.Fatalf("byte %d flipped: err = %v, want a cursor error", i, err)
+			}
+		}
+	})
+	t.Run("wrong magic recomputed crc", func(t *testing.T) {
+		// A token whose CRC is valid but whose magic/version is wrong is
+		// still malformed: the CRC only authenticates the bytes, the
+		// magic check authenticates the format.
+		raw, err := base64.RawURLEncoding.DecodeString(encodeCursor(1, 2, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[0] = 'X'
+		// Recompute a matching CRC so the checksum gate passes.
+		binary.BigEndian.PutUint32(raw[26:30], crc32.ChecksumIEEE(raw[:26]))
+		fixed := base64.RawURLEncoding.EncodeToString(raw)
+		if _, err := decodeCursor(fixed, query); !errors.Is(err, errCursorMalformed) {
+			t.Fatalf("err = %v, want errCursorMalformed", err)
+		}
+	})
+}
+
+// FuzzCursorDecode is the satellite fuzz target: arbitrary byte strings
+// presented as cursor tokens must never panic, and every rejection must
+// be one of the structured cursor errors.
+func FuzzCursorDecode(f *testing.F) {
+	const query = "d.(b.c)+.c"
+	f.Add(encodeCursor(0, 0, query))
+	f.Add(encodeCursor(3, 7, query))
+	f.Add(encodeCursor(^uint64(0), ^uint64(0), query))
+	f.Add("")
+	f.Add("AAAA")
+	f.Add("not base64 at all !!!")
+	if raw, err := base64.RawURLEncoding.DecodeString(encodeCursor(3, 7, query)); err == nil {
+		raw[12] ^= 0xFF // corrupt the position field
+		f.Add(base64.RawURLEncoding.EncodeToString(raw))
+	}
+	f.Fuzz(func(t *testing.T, token string) {
+		c, err := decodeCursor(token, query)
+		if err != nil {
+			if !isCursorError(err) {
+				t.Fatalf("decode rejected with a non-cursor error: %v", err)
+			}
+			return
+		}
+		// Accepted tokens must re-encode to the identical string: the
+		// format has no slack bytes, so acceptance implies canonicity.
+		if re := encodeCursor(c.epoch, c.pos, query); re != token {
+			t.Fatalf("accepted token is not canonical: %q re-encodes to %q", token, re)
+		}
+	})
+}

@@ -39,6 +39,15 @@ type Engine interface {
 	// EvaluateBatchParallelRelCtx evaluates one deduplicated batch — the
 	// coalescer's demux hook.
 	EvaluateBatchParallelRelCtx(ctx context.Context, qs []rpq.Expr, workers int, timers []*core.StageTimer) ([]*pairs.Relation, uint64, error)
+	// OpenStream opens a pull-based, epoch-pinned result stream — the
+	// /query/stream and /query/sse delivery path.
+	OpenStream(ctx context.Context, q rpq.Expr, opts core.StreamOptions) (*core.ResultStream, error)
+	// AskCounted probes result existence with the rows-scanned
+	// instrumentation counter — the /query?ask=1 short-circuit path.
+	AskCounted(ctx context.Context, q rpq.Expr) (found bool, epoch uint64, rows int64, err error)
+	// Witness reconstructs one shortest label-path witness for a result
+	// pair — the /query?witness=1 path.
+	Witness(ctx context.Context, q rpq.Expr, src, dst graph.VID) (core.WitnessPath, bool, error)
 	// ApplyUpdates applies one edge-update batch atomically.
 	ApplyUpdates(updates []core.GraphUpdate) (core.UpdateResult, error)
 	// ExplainQuery plans without executing; ExplainAnalyzeQuery also

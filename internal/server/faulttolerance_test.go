@@ -301,7 +301,10 @@ func TestUpdateDegradedThenRearm(t *testing.T) {
 		t.Fatalf("healthy update: status %d epoch %d", resp.StatusCode, out.Epoch)
 	}
 
-	inj.FailNth(store.OpWrite, 1)
+	// Arm a persistent fault, not a one-shot: the 5ms probe loop would
+	// otherwise consume a FailNth and heal the node before the degraded
+	// assertions below run.
+	inj.Arm(1, store.OpWrite)
 	_, resp = postUpdate(t, ts.URL, UpdateRequest{Updates: []EdgeUpdate{{Op: "insert", Src: 1, Label: "z", Dst: 9}}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("degraded update: status %d, want 503", resp.StatusCode)
@@ -364,7 +367,9 @@ func TestHealthzDraining(t *testing.T) {
 func TestSnapshotErrorBody(t *testing.T) {
 	inj, _, srv, ts := persistentServer(t, fixtures.Figure1(), 2)
 
-	inj.FailNth(store.OpRename, 1)
+	// Persistent fault (see TestUpdateDegradedThenRearm): the probe loop
+	// must keep failing until Disarm or the Degraded assertions race it.
+	inj.Arm(1, store.OpRename)
 	resp, err := http.Post(ts.URL+"/admin/snapshot", "application/json", strings.NewReader("{}"))
 	if err != nil {
 		t.Fatal(err)

@@ -150,6 +150,14 @@ const (
 	pathFastLane
 	// pathDirect was evaluated immediately (DisableCoalescing).
 	pathDirect
+	// pathAsk answered an existence probe (/query?ask=1) through the
+	// engine's short-circuiting ASK evaluator.
+	pathAsk
+	// pathStreamed delivered the result incrementally (/query/stream or
+	// /query/sse) through an epoch-pinned pull stream.
+	pathStreamed
+	// pathWitness reconstructed a label-path witness (/query?witness=1).
+	pathWitness
 )
 
 func (p resultPath) String() string {
@@ -162,6 +170,12 @@ func (p resultPath) String() string {
 		return "fast_lane"
 	case pathDirect:
 		return "direct"
+	case pathAsk:
+		return "ask"
+	case pathStreamed:
+		return "streamed"
+	case pathWitness:
+		return "witness"
 	}
 	return "unknown"
 }
@@ -190,6 +204,9 @@ type latencyRecorder struct {
 	fastLane histogram
 	windowed histogram
 	direct   histogram
+	ask      histogram
+	streamed histogram
+	witness  histogram
 
 	queue        histogram
 	coalesceWait histogram
@@ -212,6 +229,12 @@ func (l *latencyRecorder) observe(path resultPath, wall time.Duration, st *core.
 		l.fastLane.observe(wall)
 	case pathDirect:
 		l.direct.observe(wall)
+	case pathAsk:
+		l.ask.observe(wall)
+	case pathStreamed:
+		l.streamed.observe(wall)
+	case pathWitness:
+		l.witness.observe(wall)
 	default:
 		l.windowed.observe(wall)
 	}

@@ -99,6 +99,18 @@ type Options struct {
 	// a no-op while the engine is healthy, so the loop costs nothing in
 	// the steady state.
 	ProbeInterval time.Duration
+	// StreamChunk is how many pairs each /query/stream line or
+	// /query/sse event carries. Default 512.
+	StreamChunk int
+	// StreamMaxLag bounds how many epochs the engine may advance past a
+	// stream's pinned epoch before the server aborts the stream with a
+	// structured error event. A pinned stream stays correct at any lag
+	// (its engine version is immutable), but a client that has been
+	// paging for a thousand updates is reading an increasingly stale
+	// answer and holding the old version's structures live; the lag
+	// bound turns that into an explicit, resumable failure. 0 (the
+	// default) never aborts.
+	StreamMaxLag uint64
 }
 
 // withDefaults fills the zero fields with the documented defaults.
@@ -136,6 +148,9 @@ func (o Options) withDefaults() Options {
 	if o.ProbeInterval <= 0 {
 		o.ProbeInterval = time.Second
 	}
+	if o.StreamChunk <= 0 {
+		o.StreamChunk = 512
+	}
 	return o
 }
 
@@ -154,6 +169,14 @@ type Server struct {
 	// draining flips on Close so /healthz reports the shutdown to load
 	// balancers while in-flight batches finish.
 	draining atomic.Bool
+
+	// Streaming-delivery counters, published under /metrics "streaming".
+	streams       atomic.Int64
+	streamedPairs atomic.Int64
+	asks          atomic.Int64
+	witnesses     atomic.Int64
+	cursorResumes atomic.Int64
+	epochAborts   atomic.Int64
 
 	// probeStop ends the degraded-probe loop; probeWG waits it out.
 	probeStop chan struct{}
@@ -177,6 +200,8 @@ func New(engine Engine, opts Options) *Server {
 		probeStop: make(chan struct{}),
 	}
 	s.route("/query", methods{"GET": s.handleQuery, "POST": s.handleQuery})
+	s.route("/query/stream", methods{"GET": s.handleQueryStream, "POST": s.handleQueryStream})
+	s.route("/query/sse", methods{"GET": s.handleQuerySSE})
 	s.route("/update", methods{"POST": s.handleUpdate})
 	s.route("/explain", methods{"GET": s.handleExplain})
 	s.route("/healthz", methods{"GET": s.handleHealthz})
@@ -262,8 +287,9 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// QueryRequest is the body of POST /query (or the q/limit/offset query
-// parameters of GET /query).
+// QueryRequest is the body of POST /query (or the q/limit/offset/
+// cursor/ask/witness/src/dst query parameters of GET /query). It is
+// also the body of POST /query/stream (which honours Query and Limit).
 type QueryRequest struct {
 	// Query is the RPQ, in the rpq concrete syntax.
 	Query string `json:"query"`
@@ -271,6 +297,21 @@ type QueryRequest struct {
 	Limit int `json:"limit"`
 	// Offset skips that many pairs of the (src, dst)-ordered result.
 	Offset int `json:"offset"`
+	// Cursor, when set, resumes paging from an opaque token a previous
+	// response's next_cursor carried. The token pins the graph epoch: if
+	// the graph has moved on, the request fails with a structured 410
+	// instead of serving a page inconsistent with the earlier ones.
+	// Cursor overrides Offset.
+	Cursor string `json:"cursor,omitempty"`
+	// Ask turns the request into an existence probe: the response
+	// reports found true/false, computed with the engine's short-circuit
+	// ASK evaluator instead of materialising the result.
+	Ask bool `json:"ask,omitempty"`
+	// Witness asks for one shortest label-path witnessing (Src, Dst) in
+	// the query's result.
+	Witness bool      `json:"witness,omitempty"`
+	Src     graph.VID `json:"src,omitempty"`
+	Dst     graph.VID `json:"dst,omitempty"`
 }
 
 // QueryResponse is the body of a successful /query: one page of the
@@ -300,6 +341,35 @@ type QueryResponse struct {
 	WallNS int64 `json:"wall_ns"`
 	// Pairs is the page: [start, end] vertex pairs in (src, dst) order.
 	Pairs [][2]graph.VID `json:"pairs"`
+	// NextCursor is an opaque resumable token for the next page, present
+	// when the page did not exhaust the result. Resume by sending it
+	// back as "cursor" with the same query.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// AskResponse is the body of /query?ask=1: existence instead of pairs,
+// plus the rows-scanned instrumentation the short-circuit tests pin.
+type AskResponse struct {
+	Query string `json:"query"`
+	Epoch uint64 `json:"epoch"`
+	Found bool   `json:"found"`
+	// RowsScanned counts the join/traversal tuples the probe touched
+	// before stopping — 0 for a memo-warm answer, far below the full
+	// evaluation's row count whenever the answer is non-empty.
+	RowsScanned int64  `json:"rows_scanned"`
+	Path        string `json:"path"`
+	WallNS      int64  `json:"wall_ns"`
+}
+
+// WitnessResponse is the body of /query?witness=1&src=…&dst=…: one
+// shortest label-path witnessing the pair, or found=false.
+type WitnessResponse struct {
+	Query   string            `json:"query"`
+	Epoch   uint64            `json:"epoch"`
+	Found   bool              `json:"found"`
+	Witness *core.WitnessPath `json:"witness,omitempty"`
+	Path    string            `json:"path"`
+	WallNS  int64             `json:"wall_ns"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -314,43 +384,35 @@ const maxRequestBody = 16 << 20
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	handlerStart := time.Now()
-	var req QueryRequest
-	if r.Method == http.MethodGet {
-		q := r.URL.Query()
-		req.Query = q.Get("q")
-		for _, p := range []struct {
-			name string
-			dst  *int
-		}{{"limit", &req.Limit}, {"offset", &req.Offset}} {
-			if v := q.Get(p.name); v != "" {
-				n, err := strconv.Atoi(v)
-				if err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", p.name, err))
-					return
-				}
-				*p.dst = n
-			}
-		}
-	} else if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	if req.Query == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing query"))
-		return
-	}
-	expr, err := rpq.Parse(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.Offset < 0 || req.Limit < 0 {
-		writeError(w, http.StatusBadRequest, errors.New("limit and offset must be non-negative"))
+	req, expr, ok := s.decodeQueryRequest(w, r)
+	if !ok {
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+
+	if req.Witness {
+		s.serveWitness(w, req, expr, ctx, handlerStart)
+		return
+	}
+	if req.Ask {
+		s.serveAsk(w, req, expr, ctx, handlerStart)
+		return
+	}
+
+	// A cursor pins the epoch and the position; decode before evaluating
+	// so a garbage token never costs an evaluation.
+	var cur *cursorToken
+	if req.Cursor != "" {
+		c, err := decodeCursor(req.Cursor, req.Query)
+		if err != nil {
+			writeError(w, http.StatusGone, err)
+			return
+		}
+		cur = &c
+	}
+
 	res := s.coal.submit(ctx, req.Query, expr)
 	if res.err != nil {
 		status := queryStatus(res.err)
@@ -360,27 +422,164 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, res.err)
 		return
 	}
+	offset := req.Offset
+	if cur != nil {
+		if cur.epoch != res.epoch {
+			s.epochAborts.Add(1)
+			writeError(w, http.StatusGone, fmt.Errorf(
+				"cursor pinned to epoch %d, result now at epoch %d: restart the page sequence", cur.epoch, res.epoch))
+			return
+		}
+		if cur.pos > uint64(res.rel.Len()) {
+			writeError(w, http.StatusGone, fmt.Errorf(
+				"cursor position %d beyond result size %d", cur.pos, res.rel.Len()))
+			return
+		}
+		offset = int(cur.pos)
+		s.cursorResumes.Add(1)
+	}
 
 	pageStart := time.Now()
-	page := res.rel.Page(req.Offset, req.Limit)
+	page := res.rel.Page(offset, req.Limit)
 	pairs := make([][2]graph.VID, len(page))
 	for i, p := range page {
 		pairs[i] = [2]graph.VID{p.Src, p.Dst}
 	}
 	res.stages.PageNS += time.Since(pageStart).Nanoseconds()
+	next := ""
+	if end := offset + len(page); end < res.rel.Len() && req.Limit > 0 {
+		next = encodeCursor(res.epoch, uint64(end), req.Query)
+	}
 	wall := time.Since(handlerStart)
 	s.lat.observe(res.path, wall, &res.stages)
 	writeJSON(w, http.StatusOK, QueryResponse{
-		Query:  req.Query,
-		Epoch:  res.epoch,
-		Total:  res.rel.Len(),
-		Offset: req.Offset,
-		Count:  len(pairs),
-		Path:   res.path.String(),
-		Stages: res.stages,
-		WallNS: wall.Nanoseconds(),
-		Pairs:  pairs,
+		Query:      req.Query,
+		Epoch:      res.epoch,
+		Total:      res.rel.Len(),
+		Offset:     offset,
+		Count:      len(pairs),
+		Path:       res.path.String(),
+		Stages:     res.stages,
+		WallNS:     wall.Nanoseconds(),
+		Pairs:      pairs,
+		NextCursor: next,
 	})
+}
+
+// decodeQueryRequest parses a GET's query parameters or a POST's JSON
+// body into a QueryRequest, writing the 400 itself on failure.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (QueryRequest, rpq.Expr, bool) {
+	var req QueryRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		req.Cursor = q.Get("cursor")
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"limit", &req.Limit}, {"offset", &req.Offset}} {
+			if v := q.Get(p.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", p.name, err))
+					return req, nil, false
+				}
+				*p.dst = n
+			}
+		}
+		for _, p := range []struct {
+			name string
+			dst  *bool
+		}{{"ask", &req.Ask}, {"witness", &req.Witness}} {
+			switch v := q.Get(p.name); v {
+			case "", "0", "false":
+			case "1", "true":
+				*p.dst = true
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s value %q (want 0 or 1)", p.name, v))
+				return req, nil, false
+			}
+		}
+		for _, p := range []struct {
+			name string
+			dst  *graph.VID
+		}{{"src", &req.Src}, {"dst", &req.Dst}} {
+			if v := q.Get(p.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", p.name, err))
+					return req, nil, false
+				}
+				*p.dst = graph.VID(n)
+			}
+		}
+	} else if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return req, nil, false
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		return req, nil, false
+	}
+	expr, err := rpq.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return req, nil, false
+	}
+	if req.Offset < 0 || req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("limit and offset must be non-negative"))
+		return req, nil, false
+	}
+	return req, expr, true
+}
+
+// serveAsk answers /query?ask=1 through the engine's short-circuit
+// existence probe — no result is materialised or cached.
+func (s *Server) serveAsk(w http.ResponseWriter, req QueryRequest, expr rpq.Expr, ctx context.Context, handlerStart time.Time) {
+	found, epoch, rows, err := s.engine.AskCounted(ctx, expr)
+	if err != nil {
+		status := queryStatus(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.asks.Add(1)
+	wall := time.Since(handlerStart)
+	s.lat.observe(pathAsk, wall, &core.StageTimer{})
+	writeJSON(w, http.StatusOK, AskResponse{
+		Query:       req.Query,
+		Epoch:       epoch,
+		Found:       found,
+		RowsScanned: rows,
+		Path:        pathAsk.String(),
+		WallNS:      wall.Nanoseconds(),
+	})
+}
+
+// serveWitness answers /query?witness=1&src=…&dst=….
+func (s *Server) serveWitness(w http.ResponseWriter, req QueryRequest, expr rpq.Expr, ctx context.Context, handlerStart time.Time) {
+	wp, found, err := s.engine.Witness(ctx, expr, req.Src, req.Dst)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	s.witnesses.Add(1)
+	resp := WitnessResponse{
+		Query:  req.Query,
+		Epoch:  wp.Epoch,
+		Found:  found,
+		Path:   pathWitness.String(),
+		WallNS: time.Since(handlerStart).Nanoseconds(),
+	}
+	if found {
+		resp.Witness = &wp
+	} else {
+		resp.Epoch = s.engine.Epoch()
+	}
+	s.lat.observe(pathWitness, time.Since(handlerStart), &core.StageTimer{})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // retryAfterSeconds is the Retry-After value sent with every 503 shed
@@ -662,13 +861,16 @@ type TimingInfo struct {
 // HistogramStats; the section's key set is stable whether or not any
 // requests have been observed.
 type LatencyInfo struct {
-	// Overall covers every /query request; FastPath, FastLane, Windowed
-	// and Direct split it by serving path.
+	// Overall covers every /query request; FastPath, FastLane, Windowed,
+	// Direct, Ask, Streamed and Witness split it by serving path.
 	Overall  HistogramStats `json:"overall"`
 	FastPath HistogramStats `json:"fast_path"`
 	FastLane HistogramStats `json:"fast_lane"`
 	Windowed HistogramStats `json:"windowed"`
 	Direct   HistogramStats `json:"direct"`
+	Ask      HistogramStats `json:"ask"`
+	Streamed HistogramStats `json:"streamed"`
+	Witness  HistogramStats `json:"witness"`
 	// Stages holds one histogram per pipeline stage, counting requests
 	// in which the stage ran.
 	Stages StageHistograms `json:"stages"`
@@ -720,6 +922,7 @@ type Metrics struct {
 	Cache     core.CacheCounters `json:"cache"`
 	Timing    TimingInfo         `json:"timing"`
 	Latency   LatencyInfo        `json:"latency"`
+	Streaming StreamingInfo      `json:"streaming"`
 	Runtime   RuntimeInfo        `json:"runtime"`
 	// Persistence reports the store's bookkeeping and how the engine
 	// booted; nil (omitted) when the server runs without -data.
@@ -772,14 +975,42 @@ func (s *Server) MetricsSnapshot() Metrics {
 			FastLane:        s.lat.fastLane.snapshot(),
 			Windowed:        s.lat.windowed.snapshot(),
 			Direct:          s.lat.direct.snapshot(),
+			Ask:             s.lat.ask.snapshot(),
+			Streamed:        s.lat.streamed.snapshot(),
+			Witness:         s.lat.witness.snapshot(),
 			Stages:          s.lat.stages(),
 			ArrivalRateQPS:  rate,
 			BatchOccupancy:  occupancy,
 			WindowMode:      mode,
 			CurrentWindowMS: float64(window) / nsPerMS,
 		},
+		Streaming: StreamingInfo{
+			Streams:       s.streams.Load(),
+			StreamedPairs: s.streamedPairs.Load(),
+			Asks:          s.asks.Load(),
+			Witnesses:     s.witnesses.Load(),
+			CursorResumes: s.cursorResumes.Load(),
+			EpochAborts:   s.epochAborts.Load(),
+		},
 		Runtime: runtimeInfo(),
 	}
+}
+
+// StreamingInfo is the /metrics streaming-delivery section.
+type StreamingInfo struct {
+	// Streams counts /query/stream and /query/sse streams opened;
+	// StreamedPairs the pairs they delivered.
+	Streams       int64 `json:"streams"`
+	StreamedPairs int64 `json:"streamed_pairs"`
+	// Asks and Witnesses count the /query?ask=1 and /query?witness=1
+	// probes served.
+	Asks      int64 `json:"asks"`
+	Witnesses int64 `json:"witnesses"`
+	// CursorResumes counts pages served from a presented cursor;
+	// EpochAborts counts cursor or stream deliveries refused because the
+	// graph epoch had moved past the pinned one.
+	CursorResumes int64 `json:"cursor_resumes"`
+	EpochAborts   int64 `json:"epoch_aborts"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -288,6 +288,41 @@ func (c *Cluster) ExplainAnalyzeQuery(q string) (*core.Plan, error) {
 // the epoch guard keeps correct.
 func (c *Cluster) Fork() *core.Engine { return c.coord.Fork() }
 
+// OpenStream opens a pull-based result stream through the coordinator.
+// Only the open itself runs under the shared barrier: OpenStream
+// resolves every shared input eagerly against the pinned engine version,
+// so the returned stream drains immutable state and an update fan-out
+// can proceed while clients are still paging. The stream stays
+// byte-identical to a sealed evaluation at its pinned epoch regardless.
+func (c *Cluster) OpenStream(ctx context.Context, q rpq.Expr, opts core.StreamOptions) (*core.ResultStream, error) {
+	c.barrier.RLock()
+	defer c.barrier.RUnlock()
+	return c.coord.OpenStream(ctx, q, opts)
+}
+
+// Ask probes result existence through the coordinator under the shared
+// barrier, short-circuiting at the first pair.
+func (c *Cluster) Ask(ctx context.Context, q rpq.Expr) (bool, uint64, error) {
+	c.barrier.RLock()
+	defer c.barrier.RUnlock()
+	return c.coord.Ask(ctx, q)
+}
+
+// AskCounted is Ask with the rows-scanned instrumentation counter.
+func (c *Cluster) AskCounted(ctx context.Context, q rpq.Expr) (bool, uint64, int64, error) {
+	c.barrier.RLock()
+	defer c.barrier.RUnlock()
+	return c.coord.AskCounted(ctx, q)
+}
+
+// Witness reconstructs one shortest label-path witness through the
+// coordinator under the shared barrier.
+func (c *Cluster) Witness(ctx context.Context, q rpq.Expr, src, dst graph.VID) (core.WitnessPath, bool, error) {
+	c.barrier.RLock()
+	defer c.barrier.RUnlock()
+	return c.coord.Witness(ctx, q, src, dst)
+}
+
 // ApplyUpdates fans one update batch out to the coordinator and every
 // shard under the exclusive barrier. All engines hold identical graphs
 // and validate identically, apply the identical effective delta, and

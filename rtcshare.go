@@ -419,6 +419,49 @@ type ServerRuntimeInfo = server.RuntimeInfo
 // rejections and timeouts.
 type CoalescerStats = server.CoalescerStats
 
+// ResultStream is a pull-based, epoch-pinned enumeration of one query's
+// result, opened with Engine.OpenStream (or ShardedEngine.OpenStream).
+// It yields (src, dst) pairs in exactly the sealed relation's
+// (src, dst) order without materialising the top-level relation: the
+// shared inputs (reduced closures, sub-relations) resolve at open time
+// against one immutable engine version, then Next joins one source
+// vertex at a time into a caller-supplied buffer. Streams opened before
+// an update keep answering at their pinned epoch; Close releases the
+// stream's scratch back to the engine.
+type ResultStream = core.ResultStream
+
+// StreamOptions configures Engine.OpenStream; Limit caps the pairs the
+// stream yields (0 = all), making ASK-with-budget and top-k prefixes
+// one option away.
+type StreamOptions = core.StreamOptions
+
+// StreamStats is a stream's progress snapshot: sources joined, rows
+// touched and pairs yielded so far.
+type StreamStats = core.StreamStats
+
+// ErrStreamClosed is returned by ResultStream.Next after Close.
+var ErrStreamClosed = core.ErrStreamClosed
+
+// WitnessPath is one shortest label-path witness for a result pair, as
+// Engine.Witness reconstructs it: the endpoints, the edge labels in
+// order (inverse traversals spelled "^label"), and the graph epoch it
+// was derived at.
+type WitnessPath = core.WitnessPath
+
+// AskResponse is the body of the server's /query?ask=1 existence
+// probe: found true/false plus the rows-scanned instrumentation of the
+// short-circuit evaluator.
+type AskResponse = server.AskResponse
+
+// WitnessResponse is the body of the server's /query?witness=1 path:
+// one shortest label-path witness, or found=false.
+type WitnessResponse = server.WitnessResponse
+
+// StreamingInfo is the streaming-delivery section of /metrics: streams
+// opened, pairs streamed, ASK and witness requests, cursor resumes and
+// epoch aborts (stale cursors plus lag-aborted streams).
+type StreamingInfo = server.StreamingInfo
+
 // NewServer returns the rpqd HTTP handler over engine — a single
 // *Engine or a *ShardedEngine. The engine may be shared with in-process
 // users; updates through either side keep both epoch-consistent. Close
